@@ -1,0 +1,56 @@
+"""Ablation: which feature buys what (multicast vs bypassing).
+
+Decomposes the proposed design's gains on broadcast traffic across the
+four feature combinations: the baseline, bypass alone (no multicast),
+multicast alone (the strawman), and both (the fabricated chip).
+Multicast is the throughput feature; bypassing is the latency feature;
+the chip needs both to approach both limits simultaneously.
+"""
+
+from benchmarks.conftest import run_once
+from repro.noc.config import NocConfig
+from repro.harness.sweep import run_point
+from repro.harness.tables import format_table
+from repro.traffic.mix import BROADCAST_ONLY
+
+COMBOS = [
+    ("baseline", dict(multicast=False, bypass=False)),
+    ("bypass only", dict(multicast=False, bypass=True)),
+    ("multicast only", dict(multicast=True, bypass=False)),
+    ("both (chip)", dict(multicast=True, bypass=True)),
+]
+
+
+def run_matrix(low_rate=0.01, high_rate=0.055, measure=2500):
+    rows = []
+    for name, flags in COMBOS:
+        cfg = NocConfig(**flags)
+        low = run_point(cfg, BROADCAST_ONLY, low_rate, warmup=500,
+                        measure=measure, drain=2500, name=name)
+        high = run_point(cfg, BROADCAST_ONLY, high_rate, warmup=500,
+                         measure=measure, drain=1000, name=name)
+        rows.append((name, low.avg_latency, high.throughput_gbps))
+    return rows
+
+
+def test_ablation_features(benchmark):
+    rows = run_once(benchmark, run_matrix)
+    lat = {name: l for name, l, _ in rows}
+    thr = {name: t for name, _, t in rows}
+    # bypassing is the latency lever...
+    assert lat["bypass only"] < lat["baseline"]
+    assert lat["both (chip)"] < lat["multicast only"]
+    # ...multicast is the broadcast-throughput lever...
+    assert thr["multicast only"] > 1.3 * thr["baseline"]
+    assert thr["both (chip)"] > 1.3 * thr["bypass only"]
+    # ...and the chip's combination wins both axes outright
+    assert lat["both (chip)"] == min(lat.values())
+    assert thr["both (chip)"] == max(thr.values())
+    print()
+    print(
+        format_table(
+            ["features", "low-load latency (cyc)", "saturated Gb/s"],
+            [[n, l, t] for n, l, t in rows],
+            title="Ablation: broadcast traffic, feature decomposition",
+        )
+    )

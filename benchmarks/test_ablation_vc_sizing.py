@@ -1,0 +1,56 @@
+"""Ablation: VC provisioning vs the 3-cycle buffer turnaround.
+
+Section 3.3 sizes the request class at 4 one-flit VCs because the
+bypassed pipeline's buffer/VC turnaround is 3 cycles.  This ablation
+re-runs broadcast traffic with 2/3/4/6 request VCs (same total buffer
+budget ceiling) and shows throughput starving below the turnaround
+bound and saturating above it — the design rule behind the chip's
+buffer budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.presets import proposed_network
+from repro.harness.sweep import run_point
+from repro.harness.tables import format_table
+from repro.noc.config import VCSpec
+from repro.noc.flit import MessageClass
+from repro.traffic.mix import BROADCAST_ONLY
+
+
+def vc_config(request_vcs):
+    return tuple(
+        [VCSpec(MessageClass.REQUEST, 1)] * request_vcs
+        + [VCSpec(MessageClass.RESPONSE, 3)] * 2
+    )
+
+
+def sweep_vc_counts(rate=0.06, measure=3000):
+    rows = []
+    for n in (2, 3, 4, 6):
+        cfg = proposed_network(vcs=vc_config(n))
+        stats = run_point(
+            cfg, BROADCAST_ONLY, rate, warmup=600, measure=measure, drain=2000,
+            name=f"{n}vc",
+        )
+        rows.append((n, stats.throughput_gbps, stats.avg_latency))
+    return rows
+
+
+def test_ablation_vc_sizing(benchmark):
+    rows = run_once(benchmark, sweep_vc_counts)
+    thr = {n: t for n, t, _ in rows}
+    # 2 VCs < 3-cycle turnaround: the request class starves
+    assert thr[2] < thr[4]
+    # at/above the turnaround the returns flatten: 6 VCs buy little
+    gain_2_to_4 = thr[4] - thr[2]
+    gain_4_to_6 = thr[6] - thr[4]
+    assert gain_4_to_6 < 0.5 * gain_2_to_4
+    print()
+    print(
+        format_table(
+            ["request VCs", "delivered Gb/s", "avg latency"],
+            [[n, t, l] for n, t, l in rows],
+            title="Ablation: request-class VC count vs the 3-cycle "
+            "turnaround (chip: 4 VCs)",
+        )
+    )

@@ -1,0 +1,43 @@
+"""Fig. 10: low-swing reliability vs energy-efficiency trade-off."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_fig10_reliability(benchmark):
+    rows = run_once(
+        benchmark,
+        exp.fig10_reliability,
+        swings_mv=(100, 150, 200, 250, 300, 350, 400 - 25),
+        runs=1000,  # the paper's 1000 Monte-Carlo runs
+    )
+    energies = [r["energy_fj"] for r in rows]
+    failures = [r["failure_analytic"] for r in rows]
+    # energy rises with swing, failure probability falls: the trade-off
+    assert energies == sorted(energies)
+    assert failures == sorted(failures, reverse=True)
+    # the chip's 300mV point is the 3-sigma design rule
+    p300 = next(r for r in rows if r["swing_mv"] == 300)
+    assert p300["sigma_margin"] == pytest.approx(3.0)
+    # Monte-Carlo agrees with the analytic Q-function where it resolves
+    for r in rows:
+        if r["failure_analytic"] > 5e-3:
+            assert r["failure_monte_carlo"] == pytest.approx(
+                r["failure_analytic"], abs=0.05
+            )
+    print()
+    print(
+        format_table(
+            ["swing mV", "energy fJ/b", "P(fail) analytic", "P(fail) MC(1000)",
+             "sigma margin"],
+            [
+                [r["swing_mv"], r["energy_fj"], r["failure_analytic"],
+                 r["failure_monte_carlo"], r["sigma_margin"]]
+                for r in rows
+            ],
+            title="Fig. 10: swing vs reliability (chip point: 300mV = 3 sigma)",
+        )
+    )

@@ -1,0 +1,28 @@
+"""Fig. 11: tri-state RSD crossbar dynamic power vs multicast count."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_fig11_multicast_power(benchmark):
+    rows = run_once(benchmark, exp.fig11_multicast_power, data_rate_gbps=5.0)
+    powers = [r["power_uw"] for r in rows]
+    # energy-proportional multicast: linear growth in fanout
+    increments = [b - a for a, b in zip(powers, powers[1:])]
+    for inc in increments:
+        assert inc == pytest.approx(increments[0], rel=1e-9)
+    # a 5-way broadcast is far cheaper than 5 separate unicasts
+    assert powers[4] < 5 * powers[0]
+    # the shared input-wire intercept is positive
+    assert powers[0] > increments[0]
+    print()
+    print(
+        format_table(
+            ["multicast count", "dynamic power uW @5Gb/s"],
+            [[r["fanout"], r["power_uw"]] for r in rows],
+            title="Fig. 11: 1b 5x5 RSD crossbar + 1mm links, power vs fanout",
+        )
+    )

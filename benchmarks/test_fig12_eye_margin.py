@@ -1,0 +1,34 @@
+"""Fig. 12: repeated vs directly-transmitted low-swing 2mm links."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_fig12_eye_margin(benchmark):
+    out = run_once(benchmark, exp.fig12_eye_margin, runs=1000)
+    repeated, direct = out["repeated"], out["direct"]
+    # paper: the repeated link has the larger noise margin...
+    assert repeated["mean_eye_mv"] > direct["mean_eye_mv"]
+    assert repeated["worst_eye_mv"] >= direct["worst_eye_mv"]
+    # ...but takes an additional cycle and more energy (paper: +28%)
+    assert repeated["cycles"] == direct["cycles"] + 1
+    assert 0.15 < out["energy_overhead"] < 0.55
+    print()
+    print(
+        format_table(
+            ["config", "mean eye mV", "worst eye mV", "cycles", "energy fJ/b"],
+            [
+                ["1mm-repeated", repeated["mean_eye_mv"],
+                 repeated["worst_eye_mv"], repeated["cycles"],
+                 repeated["energy_fj"]],
+                ["2mm-direct", direct["mean_eye_mv"], direct["worst_eye_mv"],
+                 direct["cycles"], direct["energy_fj"]],
+            ],
+            title=(
+                "Fig. 12: 2.5Gb/s eye under wire-R variation "
+                f"(repeated +{100 * out['energy_overhead']:.0f}% energy, "
+                "paper +28%)"
+            ),
+        )
+    )

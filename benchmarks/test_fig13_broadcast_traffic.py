@@ -1,0 +1,45 @@
+"""Fig. 13 (Appendix D): throughput-latency with broadcast-only traffic."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_series
+
+
+def test_fig13_broadcast_traffic(benchmark):
+    result = run_once(
+        benchmark,
+        exp.fig13_broadcast_traffic,
+        rates=[0.01, 0.025, 0.04, 0.05, 0.06, 0.068],
+        warmup=800,
+        measure=4000,
+        drain=4000,
+    )
+    summary = exp.summarize_sweeps(result)
+
+    # paper: 55.1% latency reduction (more than mixed traffic's 48.7%)
+    assert summary["low_load_latency_reduction"] > 0.5
+    # paper: 2.2x saturation throughput improvement
+    assert 1.5 < summary["throughput_ratio"] < 3.0
+    # paper: 91% of the theoretical broadcast limit
+    assert summary["max_delivered_gbps"] > 0.85 * result["throughput_limit_gbps"]
+
+    print()
+    series = {
+        "proposed": [(p.injection_rate, p.avg_latency) for p in result["proposed"]],
+        "baseline": [(p.injection_rate, p.avg_latency) for p in result["baseline"]],
+    }
+    print(
+        format_series(
+            series,
+            "R",
+            "latency (cyc)",
+            title=(
+                "Fig. 13: broadcast-only "
+                f"(limit {result['latency_limit_cycles']:.1f} cyc)"
+            ),
+        )
+    )
+    print(
+        "summary:",
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in summary.items()},
+    )

@@ -1,0 +1,69 @@
+"""Fig. 5: throughput-latency with mixed traffic at 1 GHz.
+
+Regenerates the latency-vs-injection curves for the proposed and
+baseline networks plus the theoretical limits, and checks the paper's
+headline shape: ~50% low-load latency reduction, ~2.1x saturation
+throughput, most of the theoretical throughput limit attained.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_series
+
+
+def test_fig5_mixed_traffic(benchmark):
+    result = run_once(
+        benchmark,
+        exp.fig5_mixed_traffic,
+        rates=[0.02, 0.06, 0.10, 0.13, 0.16, 0.19],
+        warmup=800,
+        measure=4000,
+        drain=4000,
+    )
+    summary = exp.summarize_sweeps(result)
+
+    # paper: 48.7% latency reduction before saturation
+    assert summary["low_load_latency_reduction"] > 0.45
+    # paper: 2.1x saturation throughput improvement (3x-zero-load rule)
+    assert 1.6 < summary["throughput_ratio"] < 2.9
+    # paper: 892 Gb/s = 87.1% of the 1024 Gb/s limit at saturation;
+    # peak delivery approaches the ejection ceiling
+    assert summary["max_delivered_gbps"] > 0.85 * result["throughput_limit_gbps"]
+    # latency curves sit above the theoretical limit line everywhere
+    for point in result["proposed"]:
+        assert point.avg_latency > result["latency_limit_cycles"]
+
+    print()
+    series = {
+        "proposed": [
+            (p.injection_rate, p.avg_latency) for p in result["proposed"]
+        ],
+        "baseline": [
+            (p.injection_rate, p.avg_latency) for p in result["baseline"]
+        ],
+    }
+    print(
+        format_series(
+            series,
+            "R (flits/node/cyc)",
+            "latency (cyc)",
+            title=(
+                "Fig. 5: mixed traffic "
+                f"(limit {result['latency_limit_cycles']:.1f} cyc, "
+                f"{result['throughput_limit_gbps']:.0f} Gb/s)"
+            ),
+        )
+    )
+    thr = {
+        "proposed": [
+            (p.injection_rate, p.throughput_gbps) for p in result["proposed"]
+        ],
+        "baseline": [
+            (p.injection_rate, p.throughput_gbps) for p in result["baseline"]
+        ],
+    }
+    print(format_series(thr, "R", "Gb/s", title="Fig. 5 delivered throughput"))
+    print(
+        "summary:",
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in summary.items()},
+    )

@@ -1,0 +1,33 @@
+"""Fig. 7: energy efficiency of the tri-state RSD on PRBS data."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_fig7_lowswing_energy(benchmark):
+    rows = run_once(benchmark, exp.fig7_lowswing_energy, lengths_mm=(1.0, 2.0))
+    one_mm = rows[0]
+    two_mm = rows[1]
+    # paper: up to 3.2x less energy than a full-swing repeater at 1mm
+    assert one_mm["advantage"] == pytest.approx(3.2, rel=0.05)
+    assert two_mm["advantage"] > one_mm["advantage"]  # repeaters add up
+    # paper: single-cycle ST+LT at 5.4 GHz (1mm) and 2.6 GHz (2mm)
+    assert one_mm["rsd_max_clock_ghz"] == pytest.approx(5.4, rel=0.05)
+    assert two_mm["rsd_max_clock_ghz"] == pytest.approx(2.6, rel=0.05)
+    print()
+    print(
+        format_table(
+            ["link mm", "RSD fJ/b", "full-swing fJ/b", "advantage",
+             "RSD fmax GHz"],
+            [
+                [r["length_mm"], r["rsd_energy_fj"], r["full_swing_energy_fj"],
+                 f"{r['advantage']:.2f}x", r["rsd_max_clock_ghz"]]
+                for r in rows
+            ],
+            title="Fig. 7: RSD vs full-swing repeater (paper: 3.2x, "
+            "5.4/2.6 GHz)",
+        )
+    )

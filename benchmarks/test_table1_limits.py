@@ -1,0 +1,29 @@
+"""Table 1 (and Fig. 9): theoretical limits of a k x k mesh."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_table1_limits(benchmark):
+    rows = run_once(benchmark, exp.table1_limits, ks=(2, 4, 8, 16))
+    k4 = next(r for r in rows if r["k"] == 4)
+    # the paper's 4x4 numbers
+    assert k4["unicast_hops"] == pytest.approx(10 / 3)
+    assert k4["broadcast_hops"] == 5.5
+    assert k4["broadcast_ejection_load"] == 16.0
+    assert k4["unicast_max_rate"] == 1.0
+    assert k4["broadcast_max_rate"] == pytest.approx(1 / 16)
+    # broadcast energy limit grows quadratically with node count
+    e = {r["k"]: r["broadcast_energy_xbar_link"] for r in rows}
+    assert e[8] / e[4] == pytest.approx(4.0, rel=0.05)
+    print()
+    print(
+        format_table(
+            list(rows[0].keys()),
+            [list(r.values()) for r in rows],
+            title="Table 1: theoretical mesh limits (per unit R, Exbar=Elink=1)",
+        )
+    )

@@ -1,0 +1,46 @@
+"""Table 2: mesh NoC chip prototype comparison."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_table2_prototypes(benchmark):
+    rows = run_once(benchmark, exp.table2_prototypes)
+    by_name = {r["name"]: r for r in rows}
+    work = by_name["This work"]
+    teraflops = by_name["Intel Teraflops"]
+
+    # this work dominates every broadcast metric
+    for name, row in by_name.items():
+        if name != "This work":
+            assert work["zero_load_broadcast"] < row["zero_load_broadcast"]
+            assert work["channel_load_broadcast"] < row["channel_load_broadcast"]
+
+    # computed values track the paper's quoted ones
+    assert teraflops["zero_load_unicast"] == teraflops["paper"]["zero_load_unicast"]
+    assert work["zero_load_broadcast"] == work["paper"]["zero_load_broadcast"]
+    assert work["bisection_gbps"] == work["paper"]["bisection_gbps"]
+    assert teraflops["zero_load_broadcast"] == pytest.approx(
+        teraflops["paper"]["zero_load_broadcast"], rel=0.02
+    )
+
+    headers = [
+        "chip", "mesh", "GHz", "ns/hop",
+        "0-load uni", "(paper)", "0-load bcast", "(paper)",
+        "load uni xR", "load bcast xR", "bisection Gb/s",
+    ]
+    table = [
+        [
+            r["name"], r["mesh"], r["frequency_ghz"], r["delay_per_hop_ns"],
+            r["zero_load_unicast"], r["paper"]["zero_load_unicast"],
+            r["zero_load_broadcast"], r["paper"]["zero_load_broadcast"],
+            r["channel_load_unicast"], r["channel_load_broadcast"],
+            r["bisection_gbps"],
+        ]
+        for r in rows
+    ]
+    print()
+    print(format_table(headers, table, title="Table 2: prototype comparison"))

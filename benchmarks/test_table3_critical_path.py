@@ -1,0 +1,43 @@
+"""Table 3: critical-path analysis, baseline vs virtually bypassed."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_table3_critical_path(benchmark):
+    report = run_once(benchmark, exp.table3_critical_path)
+    assert report.pre_layout_baseline_ps == pytest.approx(549, rel=0.02)
+    assert report.pre_layout_overhead == pytest.approx(1.08, abs=0.02)
+    assert report.post_layout_overhead == pytest.approx(1.21, abs=0.02)
+    assert report.measured_bypassed_ps == pytest.approx(961, rel=0.02)
+    assert report.measured_fmax_ghz == pytest.approx(1.04, abs=0.02)
+    print()
+    print(
+        format_table(
+            ["stage", "baseline ps", "bypassed ps", "overhead"],
+            [
+                [
+                    "pre-layout",
+                    report.pre_layout_baseline_ps,
+                    report.pre_layout_bypassed_ps,
+                    f"{report.pre_layout_overhead:.2f}x",
+                ],
+                [
+                    "post-layout",
+                    report.post_layout_baseline_ps,
+                    report.post_layout_bypassed_ps,
+                    f"{report.post_layout_overhead:.2f}x",
+                ],
+                [
+                    "measured",
+                    "-",
+                    report.measured_bypassed_ps,
+                    f"fmax {report.measured_fmax_ghz:.2f} GHz",
+                ],
+            ],
+            title="Table 3: critical path (paper: 549/593, 658/793, 961 ps)",
+        )
+    )

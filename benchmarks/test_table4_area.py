@@ -1,0 +1,35 @@
+"""Table 4: area of full-swing vs low-swing crossbars and routers."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as exp
+from repro.harness.tables import format_table
+
+
+def test_table4_area(benchmark):
+    area = run_once(benchmark, exp.table4_area)
+    assert area.full_swing_crossbar_um2 == pytest.approx(26_840, rel=0.01)
+    assert area.low_swing_crossbar_um2 == pytest.approx(83_200, rel=0.01)
+    assert area.crossbar_overhead == pytest.approx(3.1, abs=0.05)
+    assert area.full_swing_router_um2 == pytest.approx(227_230, rel=0.01)
+    assert area.low_swing_router_um2 == pytest.approx(318_600, rel=0.01)
+    assert area.router_overhead == pytest.approx(1.4, abs=0.02)
+    assert area.bypass_overhead_fraction == pytest.approx(0.05, abs=0.005)
+    print()
+    print(
+        format_table(
+            ["block", "um^2", "paper um^2"],
+            [
+                ["full-swing crossbar", area.full_swing_crossbar_um2, 26_840],
+                ["low-swing crossbar", area.low_swing_crossbar_um2, 83_200],
+                ["router, full-swing xbar", area.full_swing_router_um2, 227_230],
+                ["router, low-swing xbar", area.low_swing_router_um2, 318_600],
+            ],
+            title=(
+                f"Table 4: area (xbar {area.crossbar_overhead:.1f}x, "
+                f"router {area.router_overhead:.1f}x, "
+                f"bypass logic {100 * area.bypass_overhead_fraction:.0f}%)"
+            ),
+        )
+    )

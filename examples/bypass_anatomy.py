@@ -1,0 +1,84 @@
+"""Anatomy of virtual bypassing: what the lookaheads actually buy.
+
+Follows single messages through the network at zero load to show the
+cycle-exact pipeline (1 cycle/hop bypassed vs 3 cycles/hop buffered),
+then loads the network up and tracks how the bypass success rate and
+the buffer activity degrade — including the chip's identical-PRBS
+artifact that capped bypassing on silicon.
+
+Run:  python examples/bypass_anatomy.py
+"""
+
+from repro import Simulator, proposed_network, strawman_network
+from repro.harness.tables import format_table
+from repro.noc.flit import MessageClass
+from repro.noc.metrics import aggregate
+from repro.noc.routing import xy_distance
+from repro.traffic import (
+    BernoulliTraffic,
+    MIXED_TRAFFIC,
+    MessageSpec,
+    SyntheticBurst,
+)
+
+
+def single_hop_trace():
+    rows = []
+    for name, factory in (("bypassed", proposed_network),
+                          ("buffered", strawman_network)):
+        for src, dst in ((0, 1), (0, 5), (0, 15)):
+            spec = MessageSpec(frozenset([dst]), MessageClass.REQUEST, 1)
+            sim = Simulator(factory(), SyntheticBurst({(2, src): [spec]}))
+            sim.run(60)
+            msg = sim.network.messages[0]
+            hops = xy_distance(src, dst, 4)
+            rows.append([name, f"{src}->{dst}", hops, msg.latency,
+                         f"{msg.latency / hops:.2f}" if hops else "-"])
+    print(
+        format_table(
+            ["pipeline", "route", "hops", "latency cyc", "cyc/hop"],
+            rows,
+            title="Zero-load pipeline anatomy (bypassed: H+2 cycles; "
+            "buffered: 3 cycles/hop + NIC)",
+        )
+    )
+
+
+def bypass_under_load():
+    rows = []
+    for rate in (0.02, 0.06, 0.10, 0.14, 0.18):
+        for identical in (False, True):
+            traffic = BernoulliTraffic(
+                MIXED_TRAFFIC, rate, seed=11, identical_generators=identical
+            )
+            sim = Simulator(proposed_network(), traffic)
+            stats = sim.run_experiment(warmup=500, measure=2_500, drain=2_500)
+            activity = aggregate(sim.network.router_stats)
+            rows.append(
+                [
+                    rate,
+                    "chip PRBS" if identical else "decorrelated",
+                    f"{100 * stats.bypass_fraction:.1f}%",
+                    stats.avg_latency,
+                    activity.buffer_writes,
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["R", "NIC generators", "bypass rate", "avg latency",
+             "buffer writes"],
+            rows,
+            title="Bypass success under load (the identical-PRBS chip "
+            "artifact suppresses bypassing — Section 4.1)",
+        )
+    )
+
+
+def main():
+    single_hop_trace()
+    bypass_under_load()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Latency-throughput study of a broadcast coherence protocol.
+
+The paper's motivation: cache-coherence protocols turn increasingly
+broadcast-heavy as core counts grow, and a NoC without router-level
+multicast collapses under them.  This example sweeps injection rate
+for three broadcast shares (0%, 50%, 100%) on both networks and
+reports the saturation point by the paper's 3x-zero-load rule.
+
+Run:  python examples/coherence_saturation_study.py
+"""
+
+from repro import baseline_network, proposed_network
+from repro.analysis.limits import MeshLimits
+from repro.analysis.saturation import find_saturation, saturation_throughput
+from repro.harness.sweep import default_rates, run_sweep
+from repro.harness.tables import format_table
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
+
+FAST = dict(warmup=800, measure=3_000, drain=3_000)
+
+
+def saturation_row(mix, label):
+    rates = default_rates(mix, 16, points=6)
+    rows = []
+    for name, factory in (("proposed", proposed_network),
+                          ("baseline", baseline_network)):
+        sweep = run_sweep(factory(), mix, rates, name=name, **FAST)
+        rows.append(
+            {
+                "mix": label,
+                "design": name,
+                "zero_load": sweep[0].avg_latency,
+                "sat_rate": find_saturation(sweep),
+                "sat_gbps": saturation_throughput(sweep),
+            }
+        )
+    return rows
+
+
+def main():
+    lim = MeshLimits(4)
+    mixes = [
+        (UNIFORM_UNICAST, "unicast-only (0% bcast)"),
+        (MIXED_TRAFFIC, "mixed (50% bcast)"),
+        (BROADCAST_ONLY, "broadcast-only"),
+    ]
+    table = []
+    for mix, label in mixes:
+        rows = saturation_row(mix, label)
+        prop, base = rows
+        gain = prop["sat_gbps"] / base["sat_gbps"]
+        for r in rows:
+            table.append(
+                [r["mix"], r["design"], r["zero_load"],
+                 r["sat_rate"] if r["sat_rate"] else "-", r["sat_gbps"],
+                 f"{100 * r['sat_gbps'] / lim.mix_throughput_limit_gbps(mix):.0f}%"]
+            )
+        table.append([label, "gain", "-", "-", f"{gain:.2f}x", "-"])
+    print(
+        format_table(
+            ["traffic", "design", "0-load lat", "sat rate", "sat Gb/s",
+             "% of limit"],
+            table,
+            title="Saturation by broadcast share (paper: 2.1x mixed, "
+            "2.2x broadcast-only)",
+        )
+    )
+    print(
+        "\nThe proposed network's advantage grows with broadcast share — "
+        "the paper's Appendix D conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

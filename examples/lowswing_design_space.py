@@ -1,0 +1,96 @@
+"""Design-space exploration of the low-swing datapath.
+
+Sweeps the RSD voltage swing and link length, reporting energy per
+bit, the maximum single-cycle ST+LT clock, and the sense-amplifier
+reliability — the three-way trade-off of Sections 3.4/4.3 behind the
+chip's choice of 300 mV and 1mm-class links.
+
+Run:  python examples/lowswing_design_space.py
+"""
+
+from repro.circuits.rsd import TriStateRSD
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.eye import repeated_vs_direct
+from repro.harness.tables import format_table
+
+
+def swing_sweep():
+    amp = SenseAmplifier()
+    rows = []
+    for swing_mv in (100, 150, 200, 250, 300, 350):
+        rsd = TriStateRSD(1.0).with_swing(swing_mv / 1000.0)
+        rows.append(
+            [
+                swing_mv,
+                rsd.energy_per_bit_fj(),
+                f"{rsd.energy_advantage():.2f}x",
+                rsd.max_clock_ghz(),
+                amp.failure_probability(swing_mv),
+                f"{amp.sigma_margin(swing_mv):.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["swing mV", "fJ/bit", "vs full-swing", "fmax GHz",
+             "P(link fail)", "sigma"],
+            rows,
+            title="Voltage-swing design space, 1mm link "
+            "(chip point: 300mV = 3 sigma)",
+        )
+    )
+
+
+def length_sweep():
+    rows = []
+    for length in (0.5, 1.0, 1.5, 2.0, 3.0):
+        rsd = TriStateRSD(length)
+        rows.append(
+            [
+                length,
+                rsd.energy_per_bit_fj(),
+                rsd.max_clock_ghz(),
+                "yes" if rsd.max_clock_ghz() >= 1.0 else "no",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["link mm", "fJ/bit", "fmax GHz", "1-cycle @1GHz?"],
+            rows,
+            title="Link-length design space (paper: 5.4 GHz @1mm, "
+            "2.6 GHz @2mm)",
+        )
+    )
+
+
+def repeater_tradeoff():
+    out = repeated_vs_direct(runs=1000)
+    print()
+    print(
+        format_table(
+            ["2mm option", "mean eye mV", "worst eye mV", "cycles", "fJ/bit"],
+            [
+                ["1mm-repeated", out["repeated"]["mean_eye_mv"],
+                 out["repeated"]["worst_eye_mv"], out["repeated"]["cycles"],
+                 out["repeated"]["energy_fj"]],
+                ["direct", out["direct"]["mean_eye_mv"],
+                 out["direct"]["worst_eye_mv"], out["direct"]["cycles"],
+                 out["direct"]["energy_fj"]],
+            ],
+            title=(
+                "Repeated vs direct 2mm transmission "
+                f"(repeated costs +{100 * out['energy_overhead']:.0f}% energy "
+                "and a cycle, buys margin)"
+            ),
+        )
+    )
+
+
+def main():
+    swing_sweep()
+    length_sweep()
+    repeater_tradeoff()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of Park et al., "Approaching the Theoretical Limits of a
+Mesh NoC with a 16-Node Chip Prototype in 45nm SOI" (DAC 2012).
+
+Quickstart::
+
+    from repro import proposed_network, Simulator
+    from repro.traffic import BernoulliTraffic, MIXED_TRAFFIC
+
+    sim = Simulator(proposed_network(), BernoulliTraffic(MIXED_TRAFFIC, 0.05))
+    stats = sim.run_experiment()
+    print(stats.avg_latency, stats.throughput_gbps)
+
+Package map:
+
+- :mod:`repro.noc` — cycle-accurate mesh/router/NIC substrate
+- :mod:`repro.core` — the paper's design points (baseline/strawman/proposed)
+- :mod:`repro.traffic` — Bernoulli/PRBS traffic and the paper's mixes
+- :mod:`repro.analysis` — theoretical limits and prototype comparisons
+- :mod:`repro.circuits` — low-swing RSD / wire / sense-amp circuit models
+- :mod:`repro.power` — calibrated, ORION-style and post-layout power models
+- :mod:`repro.physical` — critical-path timing and area models
+- :mod:`repro.harness` — experiment drivers regenerating each table/figure
+"""
+
+from repro.core.presets import (
+    baseline_network,
+    proposed_network,
+    strawman_network,
+    textbook_network,
+)
+from repro.noc import NocConfig, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NocConfig",
+    "Simulator",
+    "__version__",
+    "baseline_network",
+    "proposed_network",
+    "strawman_network",
+    "textbook_network",
+]

@@ -1,0 +1,20 @@
+"""Closed-form analysis: theoretical mesh limits and chip comparisons."""
+
+from repro.analysis.limits import MeshLimits
+from repro.analysis.prototypes import (
+    PROTOTYPES,
+    ChipPrototype,
+    prototype_comparison,
+)
+from repro.analysis.saturation import find_saturation, saturation_throughput
+from repro.analysis.zero_load import zero_load_latency
+
+__all__ = [
+    "ChipPrototype",
+    "MeshLimits",
+    "PROTOTYPES",
+    "find_saturation",
+    "prototype_comparison",
+    "saturation_throughput",
+    "zero_load_latency",
+]

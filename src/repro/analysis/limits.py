@@ -1,0 +1,162 @@
+"""Theoretical limits of a k x k mesh NoC (Table 1 and Appendix A).
+
+The bounds assume perfect routing (minimal, perfectly balanced),
+perfect flow control (no link ever idles under load) and a perfect
+router microarchitecture (flits spend exactly one crossbar-plus-link
+traversal of delay and energy per hop).  Under those assumptions the
+topology alone dictates:
+
+* latency — the average hop count (to the destination for unicasts, to
+  the *furthest* destination for broadcasts, Fig. 9);
+* throughput — the binding channel load, bisection links for unicasts
+  and ejection links for broadcasts (and for 4x4 unicasts, where
+  ejection also binds);
+* energy — crossbar and link traversal energy only; a broadcast must
+  visit all k^2 routers, so its energy limit grows quadratically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.routing import coords
+
+
+@dataclass(frozen=True)
+class MeshLimits:
+    """Closed-form limits for one mesh radix ``k`` (Table 1)."""
+
+    k: int
+
+    def __post_init__(self):
+        if self.k < 2:
+            raise ValueError("mesh radix must be at least 2")
+
+    # -------------------------------------------------- latency (hops)
+
+    @property
+    def unicast_hops(self):
+        """Average unicast hop count, 2(k+1)/3, the paper's H_average."""
+        return 2 * (self.k + 1) / 3
+
+    @property
+    def broadcast_hops(self):
+        """Average hops to the furthest destination (Fig. 9 geometry)."""
+        k = self.k
+        if k % 2 == 0:
+            return (3 * k - 2) / 2
+        return (k - 1) * (3 * k + 1) / (2 * k)
+
+    @property
+    def broadcast_hops_paper(self):
+        """The even-k expression exactly as printed, (3k-1)/2.
+
+        The printed even-k formula gives 5.5 for k=4, matching Table 2;
+        the direct average of max(|dx|)+max(|dy|) over uniform sources
+        gives (3k-2)/2 = 5.0.  Both are exposed: simulation checks use
+        :attr:`broadcast_hops_exact`, paper-facing tables use this one.
+        """
+        k = self.k
+        if k % 2 == 0:
+            return (3 * k - 1) / 2
+        return (k - 1) * (3 * k + 1) / (2 * k)
+
+    @property
+    def broadcast_hops_exact(self):
+        """Exact average distance from a uniform source to its furthest node."""
+        k = self.k
+        total = 0
+        for src in range(k * k):
+            x, y = coords(src, k)
+            total += max(x, k - 1 - x) + max(y, k - 1 - y)
+        return total / (k * k)
+
+    @property
+    def unicast_hops_exact(self):
+        """Exact mean pairwise distance, uniform over ordered pairs i != j."""
+        k = self.k
+        n = k * k
+        total = 0
+        for src in range(n):
+            sx, sy = coords(src, k)
+            for dst in range(n):
+                dx, dy = coords(dst, k)
+                total += abs(sx - dx) + abs(sy - dy)
+        return total / (n * (n - 1))
+
+    def latency_limit(self, traffic, nic_cycles=2):
+        """Zero-load latency bound in cycles, including NIC links.
+
+        The Fig. 5/13 limit lines add two cycles for the NIC-to-router
+        and router-to-NIC traversals, which every packet must incur.
+        """
+        if traffic == "unicast":
+            return self.unicast_hops + nic_cycles
+        if traffic == "broadcast":
+            return self.broadcast_hops_paper + nic_cycles
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    # ---------------------------------------------- throughput (loads)
+
+    def bisection_load(self, traffic, rate):
+        """Per-bisection-link channel load at injection ``rate`` (Table 1)."""
+        if traffic == "unicast":
+            return self.k * rate / 4
+        if traffic == "broadcast":
+            return self.k * self.k * rate / 4
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    def ejection_load(self, traffic, rate):
+        """Per-ejection-link channel load at injection ``rate`` (Table 1)."""
+        if traffic == "unicast":
+            return rate
+        if traffic == "broadcast":
+            return self.k * self.k * rate
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    def max_injection_rate(self, traffic):
+        """Largest sustainable R (flits/node/cycle): binding load = 1."""
+        if traffic == "unicast":
+            # ejection binds for k <= 4, bisection beyond
+            return min(1.0, 4 / self.k)
+        if traffic == "broadcast":
+            return 1.0 / (self.k * self.k)
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    def throughput_limit_flits(self, traffic):
+        """Delivered (ejected) flits/cycle, network-wide, at the limit."""
+        n = self.k * self.k
+        rate = self.max_injection_rate(traffic)
+        fanout = n if traffic == "broadcast" else 1
+        return n * rate * fanout
+
+    def throughput_limit_gbps(self, traffic, flit_bits=64, frequency_ghz=1.0):
+        return self.throughput_limit_flits(traffic) * flit_bits * frequency_ghz
+
+    # ------------------------------------------------------- energy
+
+    def energy_limit(self, traffic, e_xbar, e_link):
+        """Energy per packet at the limit (Table 1, bottom row).
+
+        A unicast traverses ``H_average`` links and ``H_average + 1``
+        crossbars (one per router visited); a broadcast visits all k^2
+        routers over a spanning tree of k^2 - 1 links.
+        """
+        if traffic == "unicast":
+            h = self.unicast_hops
+            return (h + 1) * e_xbar + h * e_link
+        if traffic == "broadcast":
+            n = self.k * self.k
+            return n * e_xbar + (n - 1) * e_link
+        raise ValueError(f"unknown traffic type {traffic!r}")
+
+    # --------------------------------------------------- mixed traffic
+
+    def mix_throughput_limit_gbps(self, mix, flit_bits=64, frequency_ghz=1.0):
+        """Ejection-limited ceiling for a traffic mix (Fig. 5 limit)."""
+        n = self.k * self.k
+        return n * flit_bits * frequency_ghz  # one ejection/NIC/cycle
+
+    def mix_saturation_rate(self, mix):
+        """Offered load (flits/node/cycle) at which a mix hits the ceiling."""
+        return mix.saturation_injection_rate(self.k * self.k)

@@ -1,0 +1,64 @@
+"""Saturation-point detection.
+
+The paper defines the saturation point as the injection rate at which
+average latency reaches three times the no-load latency (footnote 1,
+Section 4.1), arguing most multi-threaded applications operate below
+it.  These helpers apply that rule to a latency-vs-rate sweep.
+"""
+
+from __future__ import annotations
+
+
+def find_saturation(points, zero_load_latency=None, factor=3.0):
+    """Locate the saturation injection rate on a latency curve.
+
+    ``points`` is a list of objects with ``injection_rate`` and
+    ``avg_latency`` (e.g. :class:`~repro.noc.metrics.WindowStats`),
+    sorted by rate.  The zero-load latency defaults to the first
+    point's latency.  Returns the interpolated rate at which latency
+    crosses ``factor`` times the zero-load value, or ``None`` if the
+    curve never crosses within the sweep.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    pts = sorted(points, key=lambda p: p.injection_rate)
+    base = zero_load_latency if zero_load_latency is not None else pts[0].avg_latency
+    threshold = factor * base
+    prev = None
+    for p in pts:
+        if p.avg_latency >= threshold:
+            if prev is None:
+                return p.injection_rate
+            # linear interpolation between the straddling points
+            dr = p.injection_rate - prev.injection_rate
+            dl = p.avg_latency - prev.avg_latency
+            if dl <= 0:
+                return p.injection_rate
+            return prev.injection_rate + dr * (threshold - prev.avg_latency) / dl
+        prev = p
+    return None
+
+
+def saturation_throughput(points, zero_load_latency=None, factor=3.0):
+    """Delivered throughput (Gb/s) at the saturation point.
+
+    Interpolates the throughput curve at the saturation rate; falls
+    back to the highest measured throughput when the sweep never
+    saturates.
+    """
+    pts = sorted(points, key=lambda p: p.injection_rate)
+    rate = find_saturation(pts, zero_load_latency, factor)
+    if rate is None:
+        return max(p.throughput_gbps for p in pts)
+    prev = None
+    for p in pts:
+        if p.injection_rate >= rate:
+            if prev is None or p.injection_rate == rate:
+                return p.throughput_gbps
+            span = p.injection_rate - prev.injection_rate
+            frac = (rate - prev.injection_rate) / span
+            return prev.throughput_gbps + frac * (
+                p.throughput_gbps - prev.throughput_gbps
+            )
+        prev = p
+    return pts[-1].throughput_gbps

@@ -1,0 +1,64 @@
+"""Zero-load latency of concrete router pipelines.
+
+Table 2 compares chips by multiplying the average hop count by the
+per-hop pipeline depth and adding broadcast serialisation where a chip
+lacks multicast support (the source NIC must inject k^2 - 1 unicast
+copies back to back through a single injection link).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.limits import MeshLimits
+
+
+def zero_load_latency(
+    k,
+    cycles_per_hop,
+    traffic="unicast",
+    multicast_support=True,
+    nic_cycles=0,
+    serialization_flits=1,
+):
+    """Zero-load latency in cycles.
+
+    ``nic_cycles`` adds injection/ejection link traversals (the Fig. 5
+    accounting); Table 2 quotes hop traversals only (``nic_cycles=0``).
+    ``serialization_flits`` accounts for multi-flit packets (tail
+    arrives ``num_flits - 1`` cycles after the head).
+    """
+    limits = MeshLimits(k)
+    if traffic == "unicast":
+        hops = limits.unicast_hops
+        flight = hops * cycles_per_hop
+    elif traffic == "broadcast":
+        hops = limits.broadcast_hops_paper
+        flight = hops * cycles_per_hop
+        if not multicast_support:
+            # the last of k^2 - 1 unicast copies leaves k^2 - 2 cycles
+            # after the first one
+            flight += k * k - 2
+    else:
+        raise ValueError(f"unknown traffic type {traffic!r}")
+    return flight + nic_cycles + (serialization_flits - 1)
+
+
+def zero_load_latency_config(config, traffic="unicast", nic_cycles=2):
+    """Zero-load latency of one of our design points.
+
+    Bypassing reaches one cycle per hop; the non-bypassed pipeline is
+    three cycles per hop (BW+mSA-I+VA | NRC+mSA-II | ST+LT) and the
+    textbook pipeline four.
+    """
+    if config.bypass:
+        cycles_per_hop = 1
+    elif config.separate_st_lt:
+        cycles_per_hop = 4
+    else:
+        cycles_per_hop = 3
+    return zero_load_latency(
+        config.k,
+        cycles_per_hop,
+        traffic=traffic,
+        multicast_support=config.multicast,
+        nic_cycles=nic_cycles,
+    )

@@ -1,0 +1,22 @@
+"""Circuit-level models of the chip's datapath (Sections 3.4, 4.3, App. C)."""
+
+from repro.circuits.crossbar import FullSwingCrossbar, LowSwingCrossbar
+from repro.circuits.eye import eye_margin, repeated_vs_direct
+from repro.circuits.repeater import FullSwingRepeatedLink
+from repro.circuits.rsd import TriStateRSD
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.technology import Technology, TECH_45NM_SOI
+from repro.circuits.wire import Wire
+
+__all__ = [
+    "FullSwingCrossbar",
+    "FullSwingRepeatedLink",
+    "LowSwingCrossbar",
+    "SenseAmplifier",
+    "TECH_45NM_SOI",
+    "Technology",
+    "TriStateRSD",
+    "Wire",
+    "eye_margin",
+    "repeated_vs_direct",
+]

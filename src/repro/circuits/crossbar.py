@@ -1,0 +1,99 @@
+"""Crossbar datapath circuits: the low-swing RSD matrix and its
+full-swing reference (Sections 3.4 and 4.3, Figs. 4 and 11).
+
+The low-swing crossbar places a tri-state RSD at every crosspoint of
+the 5x5 matrix.  An input drives its full-swing *horizontal* wire; only
+the crosspoints selected by mSA-II turn on and energise their
+*vertical* wire and the attached link — so a multicast costs one
+horizontal charge plus one vertical-plus-link charge per granted output
+port, the linear power-vs-fanout behaviour measured in Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.rsd import TriStateRSD
+from repro.circuits.technology import TECH_45NM_SOI
+from repro.circuits.wire import Wire
+
+
+@dataclass(frozen=True)
+class LowSwingCrossbar:
+    """A ``ports x ports`` 1-bit-slice RSD crossbar with output links."""
+
+    ports: int = 5
+    bits: int = 64
+    link_mm: float = 1.0
+    swing_v: float = 0.3
+    tech: object = TECH_45NM_SOI
+    #: physical extent of the crossbar matrix per side, mm
+    span_mm: float = 0.1
+
+    def __post_init__(self):
+        if self.ports < 2:
+            raise ValueError("crossbar needs at least two ports")
+
+    @property
+    def rsd(self):
+        """The crosspoint driver including vertical wire plus link."""
+        return TriStateRSD(
+            self.span_mm + self.link_mm, swing_v=self.swing_v, tech=self.tech
+        )
+
+    @property
+    def horizontal_wire(self):
+        return Wire(self.span_mm, self.tech)
+
+    def input_energy_fj(self, alpha=0.5):
+        """Full-swing charge of one horizontal (input) wire, per bit-slice."""
+        return self.horizontal_wire.full_swing_energy_fj(alpha)
+
+    def traversal_energy_fj(self, fanout=1, alpha=0.5):
+        """Energy of one 1-bit traversal replicated to ``fanout`` outputs."""
+        if not (1 <= fanout <= self.ports):
+            raise ValueError(f"fanout must be in [1, {self.ports}]")
+        return self.input_energy_fj(alpha) + fanout * self.rsd.energy_per_bit_fj(
+            alpha
+        )
+
+    def flit_energy_fj(self, fanout=1, alpha=0.5):
+        """Energy of a full flit traversal (all bit slices)."""
+        return self.bits * self.traversal_energy_fj(fanout, alpha)
+
+    def dynamic_power_uw(self, data_rate_gbps, fanout=1, alpha=0.5):
+        """1-bit-slice dynamic power at ``data_rate_gbps`` (Fig. 11)."""
+        return self.traversal_energy_fj(fanout, alpha) * data_rate_gbps
+
+    def max_clock_ghz(self):
+        """Single-cycle ST+LT ceiling (5.4 GHz measured with 1mm links)."""
+        return self.rsd.max_clock_ghz()
+
+
+@dataclass(frozen=True)
+class FullSwingCrossbar:
+    """Synthesised single-ended full-swing crossbar (the baseline)."""
+
+    ports: int = 5
+    bits: int = 64
+    link_mm: float = 1.0
+    tech: object = TECH_45NM_SOI
+    span_mm: float = 0.2  # denser: single-ended, standard-cell mux tree
+
+    @property
+    def _wire(self):
+        # input wire + output wire + link, all full swing
+        return Wire(2 * self.span_mm + self.link_mm, self.tech)
+
+    def traversal_energy_fj(self, fanout=1, alpha=0.5):
+        """Per bit-slice; replication drives each branch full-swing.
+
+        The mux-tree crossbar also charges internal select/mux
+        capacitance, folded into a 20% overhead factor.
+        """
+        if not (1 <= fanout <= self.ports):
+            raise ValueError(f"fanout must be in [1, {self.ports}]")
+        return 1.2 * fanout * self._wire.full_swing_energy_fj(alpha)
+
+    def flit_energy_fj(self, fanout=1, alpha=0.5):
+        return self.bits * self.traversal_energy_fj(fanout, alpha)

@@ -1,0 +1,69 @@
+"""Distributed-RC wire model with Elmore delay.
+
+The chip's 64-bit links are 0.15um-wide, 0.30um-spaced, fully shielded
+differential pairs (Section 3.4).  This module models a single signal
+wire of that geometry: lumped R and C scale linearly with length and
+the Elmore delay of a driver-wire-load chain is
+
+    t = 0.69 * (R_drv * (C_wire + C_load) + R_wire * (C_wire/2 + C_load))
+
+which captures the crucial quadratic growth of the wire-dominated term
+with length — the reason a 2mm repeaterless hop runs at roughly half
+the clock rate of a 1mm hop rather than a quarter (driver resistance
+dominates at these lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.technology import TECH_45NM_SOI
+
+
+@dataclass(frozen=True)
+class Wire:
+    """One signal wire of the chip's standard link geometry."""
+
+    length_mm: float
+    tech: object = TECH_45NM_SOI
+    differential: bool = False
+
+    def __post_init__(self):
+        if self.length_mm <= 0:
+            raise ValueError("wire length must be positive")
+
+    @property
+    def resistance(self):
+        """Total series resistance, ohms."""
+        return self.tech.wire_res_per_um * self.length_mm * 1000.0
+
+    @property
+    def capacitance(self):
+        """Total capacitance, fF (per leg; doubled when differential)."""
+        c = self.tech.wire_cap_per_um * self.length_mm * 1000.0
+        return 2 * c if self.differential else c
+
+    def elmore_delay_ps(self, driver_res, load_cap_ff=0.0):
+        """0.69-weighted Elmore delay through driver, wire and load."""
+        r_w = self.resistance
+        c_w = self.capacitance
+        tau = driver_res * (c_w + load_cap_ff) + r_w * (c_w / 2 + load_cap_ff)
+        return 0.69 * tau * 1e-3  # ohm*fF = 1e-15 s = 1e-3 ps
+
+    def full_swing_energy_fj(self, alpha=0.5, load_cap_ff=0.0):
+        """Dynamic CV^2 energy of a full-swing transition, weighted by
+        switching activity ``alpha`` (0.5 for random data)."""
+        vdd = self.tech.vdd
+        return alpha * (self.capacitance + load_cap_ff) * vdd * vdd
+
+    def low_swing_energy_fj(self, swing_v, alpha=0.5, load_cap_ff=0.0):
+        """Dynamic energy when charged to ``swing_v`` from the LVDD rail.
+
+        Charge drawn from the low supply is C*Vs, each coulomb costing
+        LVDD joules: E = C * Vs * LVDD — linear rather than quadratic
+        in the swing, the root of the low-swing advantage.
+        """
+        if swing_v <= 0:
+            raise ValueError("swing must be positive")
+        c = self.capacitance + load_cap_ff
+        return alpha * c * swing_v * self.tech.lvdd

@@ -1,0 +1,22 @@
+"""The paper's contribution: the proposed router and its design points.
+
+The microarchitectural mechanisms live in the simulator substrate
+(:mod:`repro.noc`); this package names and configures the design points
+the paper evaluates and re-exports the bypassing primitives.
+"""
+
+from repro.core.presets import (
+    baseline_network,
+    proposed_network,
+    strawman_network,
+    textbook_network,
+)
+from repro.noc.lookahead import Lookahead
+
+__all__ = [
+    "Lookahead",
+    "baseline_network",
+    "proposed_network",
+    "strawman_network",
+    "textbook_network",
+]

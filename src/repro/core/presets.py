@@ -1,0 +1,40 @@
+"""Named design points of the paper, as :class:`~repro.noc.NocConfig`.
+
+* ``textbook_network`` — the Fig. 1 baseline with separate ST and LT
+  stages (4 cycles/hop), used for the Table 2 style analyses.
+* ``baseline_network`` — the paper's *measured* baseline (Section 4.1):
+  identical buffering, single-cycle ST+LT, no multicast, no bypassing;
+  broadcasts become k^2 source-NIC unicasts.
+* ``strawman_network`` — the Section 3.1 strawman: router-level
+  multicast, 3-cycle pipeline, no bypassing (Fig. 6 config C).
+* ``proposed_network`` — the fabricated design: multicast plus
+  lookahead virtual bypassing, single-cycle per hop (Fig. 6 config D).
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NocConfig
+
+
+def textbook_network(k=4, **overrides):
+    defaults = dict(k=k, multicast=False, bypass=False, separate_st_lt=True)
+    defaults.update(overrides)
+    return NocConfig(**defaults)
+
+
+def baseline_network(k=4, **overrides):
+    defaults = dict(k=k, multicast=False, bypass=False, separate_st_lt=False)
+    defaults.update(overrides)
+    return NocConfig(**defaults)
+
+
+def strawman_network(k=4, **overrides):
+    defaults = dict(k=k, multicast=True, bypass=False, separate_st_lt=False)
+    defaults.update(overrides)
+    return NocConfig(**defaults)
+
+
+def proposed_network(k=4, **overrides):
+    defaults = dict(k=k, multicast=True, bypass=True, separate_st_lt=False)
+    defaults.update(overrides)
+    return NocConfig(**defaults)

@@ -1,0 +1,42 @@
+"""Latency-throughput sweeps: the engine behind Figs. 5 and 13."""
+
+from __future__ import annotations
+
+from repro.noc.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+
+
+def run_point(
+    config,
+    mix,
+    rate,
+    seed=7,
+    warmup=1_000,
+    measure=6_000,
+    drain=6_000,
+    identical_generators=False,
+    name="",
+):
+    """Simulate one operating point; returns WindowStats."""
+    traffic = BernoulliTraffic(
+        mix, rate, seed=seed, identical_generators=identical_generators
+    )
+    sim = Simulator(config, traffic, name=name)
+    return sim.run_experiment(warmup=warmup, measure=measure, drain=drain)
+
+
+def run_sweep(config, mix, rates, name="", **kwargs):
+    """Simulate a list of injection rates; returns a list of WindowStats.
+
+    Each point runs on a fresh network (the paper's measurements reset
+    the chip between operating points), so points are independent and
+    the sweep order does not matter.
+    """
+    return [run_point(config, mix, rate, name=name, **kwargs) for rate in rates]
+
+
+def default_rates(mix, num_nodes, points=8, headroom=1.15):
+    """A sensible rate grid from near-zero load past the mix's ceiling."""
+    ceiling = mix.saturation_injection_rate(num_nodes)
+    top = min(1.0, ceiling * headroom)
+    return [top * (i + 1) / points for i in range(points)]

@@ -1,0 +1,41 @@
+"""Plain-text rendering of result tables and curve series."""
+
+from __future__ import annotations
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with aligned columns."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series, x_label="x", y_label="y", title=None):
+    """Render named (x, y) curves side by side, joined on x."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    headers = [x_label] + [f"{name} {y_label}" for name in series]
+    lookup = {name: dict(points) for name, points in series.items()}
+    rows = []
+    for x in xs:
+        rows.append([x] + [lookup[name].get(x, float("nan")) for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,35 @@
+"""Cycle-accurate mesh NoC simulation substrate.
+
+This subpackage implements the hardware substrate of the DAC 2012 chip:
+flits and packets, virtual-channel input buffers, credit-based flow
+control with free-VC queues, separable two-stage switch allocation
+(round-robin mSA-I, matrix-arbiter mSA-II), XY / XY-tree routing,
+delay-one channels, network interface controllers and the synchronous
+cycle loop.  The paper's contribution (lookahead virtual bypassing and
+router-level multicast) plugs into this substrate and is surfaced
+through :mod:`repro.core`.
+"""
+
+from repro.noc.config import NocConfig, VCSpec, proposed_vc_config
+from repro.noc.flit import Flit, Message, MessageClass, Packet
+from repro.noc.mesh import MeshNetwork
+from repro.noc.ports import LOCAL, NORTH, EAST, SOUTH, WEST, PORT_NAMES
+from repro.noc.simulator import Simulator
+
+__all__ = [
+    "Flit",
+    "LOCAL",
+    "EAST",
+    "MeshNetwork",
+    "Message",
+    "MessageClass",
+    "NORTH",
+    "NocConfig",
+    "PORT_NAMES",
+    "Packet",
+    "SOUTH",
+    "Simulator",
+    "VCSpec",
+    "WEST",
+    "proposed_vc_config",
+]

@@ -1,0 +1,84 @@
+"""Arbitration primitives used by the separable switch allocator.
+
+The chip uses a round-robin circuit for the first allocation stage
+(mSA-I, one winner among the VCs of an input port) and a matrix arbiter
+for the second stage (mSA-II, one winner among the input ports
+competing for an output port).  Both are implemented here exactly as
+their hardware counterparts behave cycle by cycle, so allocation
+fairness and starvation freedom can be tested directly.
+"""
+
+from __future__ import annotations
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter: fair and starvation-free.
+
+    The grant pointer advances to just past the winner, so under
+    continuous contention every requester is served once per round.
+    """
+
+    def __init__(self, num_requesters):
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.num_requesters = num_requesters
+        self._pointer = 0
+
+    def grant(self, requests):
+        """Pick a winner among requesting indices; ``None`` if none request.
+
+        ``requests`` is an iterable of requester indices.
+        """
+        req = set(requests)
+        if not req:
+            return None
+        for offset in range(self.num_requesters):
+            candidate = (self._pointer + offset) % self.num_requesters
+            if candidate in req:
+                self._pointer = (candidate + 1) % self.num_requesters
+                return candidate
+        return None
+
+    def peek(self):
+        """Current priority position (for tests)."""
+        return self._pointer
+
+
+class MatrixArbiter:
+    """Least-recently-served matrix arbiter.
+
+    ``_prio[i][j] is True`` means requester ``i`` beats requester ``j``.
+    On a grant, the winner's row is cleared and its column set: the
+    winner becomes the lowest priority, which yields LRS fairness.
+    """
+
+    def __init__(self, num_requesters):
+        if num_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.num_requesters = num_requesters
+        self._prio = [
+            [i < j for j in range(num_requesters)] for i in range(num_requesters)
+        ]
+
+    def grant(self, requests):
+        """Pick the requester that beats all other requesters."""
+        req = list(dict.fromkeys(requests))
+        if not req:
+            return None
+        for i in req:
+            if all(self._prio[i][j] for j in req if j != i):
+                self._update(i)
+                return i
+        # The priority matrix is a strict total order, so exactly one
+        # requester dominates; reaching here would be a logic bug.
+        raise AssertionError("matrix arbiter found no dominating requester")
+
+    def _update(self, winner):
+        for j in range(self.num_requesters):
+            if j != winner:
+                self._prio[winner][j] = False
+                self._prio[j][winner] = True
+
+    def wins_over(self, i, j):
+        """Whether ``i`` currently has priority over ``j`` (for tests)."""
+        return self._prio[i][j]

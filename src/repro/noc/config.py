@@ -1,0 +1,127 @@
+"""Network configuration.
+
+A single :class:`NocConfig` describes every microarchitectural variant
+evaluated in the paper; the presets in :mod:`repro.core.presets` map the
+paper's named designs (baseline / strawman / proposed) onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.noc.flit import MessageClass
+
+
+@dataclass(frozen=True)
+class VCSpec:
+    """One virtual channel of an input port: its class and buffer depth."""
+
+    mclass: MessageClass
+    depth: int
+
+    def __post_init__(self):
+        if self.depth < 1:
+            raise ValueError("VC depth must be at least one flit")
+
+
+def proposed_vc_config():
+    """The fabricated chip's VC provisioning (Section 3.3).
+
+    Four 1-flit-deep request VCs (sized for the 3-cycle buffer
+    turnaround of the bypassed pipeline) and two 3-flit-deep response
+    VCs for the 5-flit cache-line packets: 6 VCs, 10 buffers per port.
+    """
+    return (
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.RESPONSE, 3),
+        VCSpec(MessageClass.RESPONSE, 3),
+    )
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Parameters of one simulated network.
+
+    Attributes
+    ----------
+    k:
+        Mesh radix (the chip is k=4).
+    vcs:
+        Per-input-port VC provisioning, identical at every port.
+    flit_bits:
+        Flit width; 64 bits on the chip.
+    multicast:
+        Router-level multicast/broadcast support (XY-tree replication
+        in the crossbar plus multi-port mSA-II grants).  When off, the
+        NIC expands a broadcast into ``k**2`` unicast packets.
+    bypass:
+        Lookahead-based virtual bypassing.  When on, a lookahead is
+        sent one cycle ahead of each flit and pre-allocates the next
+        router's crossbar, giving a single-cycle ST+LT hop.
+    separate_st_lt:
+        Textbook 4-stage pipeline with distinct switch-traversal and
+        link-traversal stages (Fig. 1).  The paper's measured baseline
+        is the *aggressive* variant with combined single-cycle ST+LT,
+        which is the default here.
+    frequency_ghz:
+        Clock frequency used to convert cycles and flits into seconds
+        and Gb/s (the chip runs at 1 GHz).
+    """
+
+    k: int = 4
+    vcs: tuple = field(default_factory=proposed_vc_config)
+    flit_bits: int = 64
+    multicast: bool = True
+    bypass: bool = True
+    separate_st_lt: bool = False
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self):
+        if self.k < 2:
+            raise ValueError("mesh radix must be at least 2")
+        if not self.vcs:
+            raise ValueError("at least one VC per port is required")
+        if self.flit_bits < 1:
+            raise ValueError("flit width must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.bypass and self.separate_st_lt:
+            raise ValueError(
+                "virtual bypassing requires the single-cycle ST+LT datapath"
+            )
+        for mc in MessageClass:
+            if not any(spec.mclass == mc for spec in self.vcs):
+                raise ValueError(f"no VC provisioned for message class {mc.name}")
+
+    @property
+    def num_nodes(self):
+        return self.k * self.k
+
+    @property
+    def num_vcs(self):
+        return len(self.vcs)
+
+    @property
+    def buffers_per_port(self):
+        return sum(spec.depth for spec in self.vcs)
+
+    def vcs_of_class(self, mclass):
+        """VC indices belonging to a message class."""
+        return tuple(i for i, spec in enumerate(self.vcs) if spec.mclass == mclass)
+
+    @property
+    def link_delay(self):
+        """Flit-link delay in cycles (2 when ST and LT are split stages)."""
+        return 2 if self.separate_st_lt else 1
+
+    @property
+    def ejection_bandwidth_gbps(self):
+        """Aggregate NIC ejection capacity: the throughput ceiling."""
+        return self.num_nodes * self.flit_bits * self.frequency_ghz
+
+    def with_(self, **changes):
+        """A modified copy (convenience wrapper over dataclasses.replace)."""
+        return replace(self, **changes)

@@ -1,0 +1,170 @@
+"""Messages, packets and flits.
+
+Terminology follows the paper (Section 2.1): a *message* is what a core
+hands to its NIC; it is segmented into *packets*, which are divided
+into fixed-length *flits*.  Only head flits carry routing information,
+so all flits of a packet follow the same route.
+
+The proposed network carries a broadcast as a single packet that is
+replicated inside routers; the baseline network expands the same
+message into ``k**2`` unicast packets at the source NIC.  The
+:class:`Message` object is the unit of latency accounting in both
+cases: a message completes when the tail flit of every constituent
+packet has been ejected at every destination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class MessageClass(IntEnum):
+    """Virtual message classes used to break protocol-level deadlock.
+
+    The fabricated chip provisions two classes per input port: cache
+    coherence *requests* (single-flit packets) and *responses*
+    (five-flit cache-line packets).
+    """
+
+    REQUEST = 0
+    RESPONSE = 1
+
+
+@dataclass
+class Message:
+    """A core-level message; the unit of end-to-end latency accounting."""
+
+    mid: int
+    src: int
+    destinations: frozenset
+    mclass: MessageClass
+    flits_per_packet: int
+    creation_cycle: int
+    is_multicast: bool = False
+    #: (destination, packet) pairs still outstanding.
+    _pending: set = field(default_factory=set, repr=False)
+    completion_cycle: int | None = None
+
+    def register_packet(self, packet):
+        for dest in packet.destinations:
+            self._pending.add((dest, packet.pid))
+
+    def record_delivery(self, dest, packet, cycle):
+        """Record the tail-flit ejection of ``packet`` at ``dest``."""
+        self._pending.discard((dest, packet.pid))
+        if not self._pending and self.completion_cycle is None:
+            self.completion_cycle = cycle
+
+    @property
+    def complete(self):
+        return self.completion_cycle is not None
+
+    @property
+    def latency(self):
+        if self.completion_cycle is None:
+            raise ValueError(f"message {self.mid} has not completed")
+        return self.completion_cycle - self.creation_cycle
+
+
+@dataclass
+class Packet:
+    """A routable unit: one head flit, optional body flits, one tail."""
+
+    pid: int
+    message: Message
+    src: int
+    destinations: frozenset
+    mclass: MessageClass
+    num_flits: int
+
+    def __post_init__(self):
+        if self.num_flits < 1:
+            raise ValueError("a packet needs at least one flit")
+        if len(self.destinations) > 1 and self.num_flits != 1:
+            raise NotImplementedError(
+                "multicast is only supported for single-flit packets "
+                "(the chip's broadcasts are one-flit coherence requests)"
+            )
+
+    @property
+    def is_multicast(self):
+        return len(self.destinations) > 1
+
+    def make_flits(self):
+        """Materialise the packet's flits in transmission order."""
+        return [
+            Flit(
+                packet=self,
+                seq=i,
+                is_head=(i == 0),
+                is_tail=(i == self.num_flits - 1),
+                destinations=self.destinations,
+            )
+            for i in range(self.num_flits)
+        ]
+
+
+_flit_uid = itertools.count()
+
+
+@dataclass
+class Flit:
+    """A flow-control unit travelling hop by hop through the mesh.
+
+    ``destinations`` is the subset of the packet's destination set that
+    this particular copy is responsible for: replication at a fork
+    splits the set between branch copies.  ``vc`` is the input virtual
+    channel the flit occupies (or would occupy, when bypassing) at the
+    router it is currently heading to; it is rewritten at every hop by
+    the VC allocator of the upstream node.
+    """
+
+    packet: Packet
+    seq: int
+    is_head: bool
+    is_tail: bool
+    destinations: frozenset
+    vc: int | None = None
+    uid: int = field(default_factory=lambda: next(_flit_uid))
+    injection_cycle: int | None = None
+    hops: int = 0
+    bypassed_hops: int = 0
+    #: Per-hop pipeline bookkeeping, reset on every arrival:
+    #: ``route`` is the output-port partition of ``destinations`` at the
+    #: current router; ``stage`` is None (awaiting mSA-I), "S2" (holds the
+    #: port's outport-request register) or "GRANTED" (all ports won);
+    #: ``granted_ports`` accumulates multicast branches already served.
+    route: dict | None = field(default=None, repr=False)
+    stage: str | None = field(default=None, repr=False)
+    granted_ports: set = field(default_factory=set, repr=False)
+
+    @property
+    def mclass(self):
+        return self.packet.mclass
+
+    @property
+    def pid(self):
+        return self.packet.pid
+
+    def fork(self, branch_destinations):
+        """Copy for one output branch of a multicast crossbar traversal."""
+        return Flit(
+            packet=self.packet,
+            seq=self.seq,
+            is_head=self.is_head,
+            is_tail=self.is_tail,
+            destinations=frozenset(branch_destinations),
+            vc=None,
+            injection_cycle=self.injection_cycle,
+            hops=self.hops,
+            bypassed_hops=self.bypassed_hops,
+        )
+
+    def __repr__(self):  # keep traces short
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return (
+            f"Flit(p{self.pid}.{self.seq}{kind} mc={self.mclass.name[:3]} "
+            f"vc={self.vc} dst={sorted(self.destinations)})"
+        )

@@ -1,0 +1,58 @@
+"""Lookahead signals for virtual bypassing (Section 3.2).
+
+A router that grants a flit its output port(s) in mSA-II immediately
+forwards a small lookahead signal (15 bits in silicon) to the next
+router, one cycle ahead of the flit itself.  The lookahead enters the
+next router's mSA-II with priority over buffered flits; if it wins all
+the output ports the flit will need *and* the required downstream VC
+and credit are available, the crossbar is pre-allocated and the flit
+skips buffering and the first two pipeline stages, achieving a
+single-cycle ST+LT hop at any load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.flit import MessageClass
+
+
+@dataclass(frozen=True)
+class Lookahead:
+    """The information encoded in the 15-bit lookahead signal.
+
+    ``vc`` is the input VC the in-flight flit was allocated at the
+    receiving router; ``destinations`` is the branch's destination
+    subset, from which the receiving router recomputes both its own
+    output-port request vector and the route for the lookahead it may
+    forward onward.
+    """
+
+    vc: int
+    mclass: MessageClass
+    pid: int
+    seq: int
+    is_head: bool
+    is_tail: bool
+    destinations: frozenset
+
+
+@dataclass
+class STOp:
+    """A crossbar traversal scheduled for a specific upcoming cycle.
+
+    ``grants`` maps each granted output port to the allocated
+    downstream VC and the destination subset carried by that branch.
+    ``pop`` marks the flit's final traversal at this router (the buffer
+    slot is released and a credit returned upstream); partial multicast
+    grants schedule traversals with ``pop=False`` and retry the
+    remaining branches.  Bypass operations take their flit from the
+    input latch rather than the buffer.
+    """
+
+    kind: str  # "buffer" | "bypass"
+    in_port: int
+    vc: int
+    flit: object | None
+    grants: dict = field(default_factory=dict)
+    pop: bool = False

@@ -1,0 +1,133 @@
+"""Activity counters and measurement-window statistics.
+
+Per-router and per-NIC :class:`ActivityCounters` record every
+energy-relevant event (buffer accesses, crossbar and link traversals,
+arbitrations, lookaheads, clock cycles); the power models in
+:mod:`repro.power` convert them into watts.  :class:`WindowStats`
+summarises a measurement window into the quantities the paper plots:
+average packet latency (per traffic type) and received throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class ActivityCounters:
+    """Event counts for one router or NIC."""
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    xbar_input_traversals: int = 0
+    xbar_output_traversals: int = 0
+    link_traversals: int = 0
+    ejections: int = 0
+    bypasses: int = 0
+    msa1_grants: int = 0
+    msa2_grants: int = 0
+    la_sent: int = 0
+    la_received: int = 0
+    credits_sent: int = 0
+    injections: int = 0
+    ejected_flits: int = 0
+    messages_submitted: int = 0
+    cycles: int = 0
+
+    def snapshot(self):
+        return ActivityCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other):
+        return ActivityCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other):
+        return ActivityCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def aggregate(counters):
+    """Sum a collection of counters into one."""
+    total = ActivityCounters()
+    for c in counters:
+        total = total + c
+    return total
+
+
+@dataclass
+class WindowStats:
+    """What one simulated operating point yields (one point of Fig. 5/13)."""
+
+    config_name: str
+    injection_rate: float  # offered load, flits/node/cycle
+    cycles: int
+    messages_measured: int
+    avg_latency: float
+    avg_latency_by_kind: dict
+    received_flits: int
+    throughput_flits_per_cycle: float
+    throughput_gbps: float
+    bypass_fraction: float
+    incomplete_messages: int
+
+    @property
+    def saturated_heuristic(self):
+        """Crude congestion indicator: work left over at window end."""
+        return self.incomplete_messages > self.messages_measured
+
+
+def message_kind(message):
+    """Classify a message for per-kind latency reporting."""
+    if message.is_multicast:
+        return "broadcast"
+    if message.flits_per_packet > 1:
+        return "unicast_response"
+    return "unicast_request"
+
+
+def summarize_window(
+    config,
+    name,
+    injection_rate,
+    cycles,
+    messages,
+    ejected_flits,
+    bypasses,
+    xbar_inputs,
+):
+    """Build :class:`WindowStats` from raw window data."""
+    completed = [m for m in messages if m.complete]
+    by_kind = {}
+    for m in completed:
+        by_kind.setdefault(message_kind(m), []).append(m.latency)
+    avg_by_kind = {k: sum(v) / len(v) for k, v in by_kind.items()}
+    avg = (
+        sum(m.latency for m in completed) / len(completed) if completed else float("nan")
+    )
+    thr = ejected_flits / cycles if cycles else 0.0
+    return WindowStats(
+        config_name=name,
+        injection_rate=injection_rate,
+        cycles=cycles,
+        messages_measured=len(completed),
+        avg_latency=avg,
+        avg_latency_by_kind=avg_by_kind,
+        received_flits=ejected_flits,
+        throughput_flits_per_cycle=thr,
+        throughput_gbps=thr * config.flit_bits * config.frequency_ghz,
+        bypass_fraction=(bypasses / xbar_inputs) if xbar_inputs else 0.0,
+        incomplete_messages=len(messages) - len(completed),
+    )

@@ -1,0 +1,167 @@
+"""Network interface controller.
+
+The NIC connects a core to its router: it segments core messages into
+packets and flits, performs VC allocation / credit flow control toward
+the router's local input port (it is the "upstream node" of that port),
+sends lookaheads one cycle ahead of each injected flit when bypassing
+is enabled, and sinks ejected flits.
+
+When the network has no router-level multicast support (the baseline),
+the NIC expands a k**2-destination broadcast message into one unicast
+packet per destination — the TILE64/Teraflops behaviour the paper
+analyses: channel load inflates by k**2 and the source injection link
+serialises the copies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+from repro.noc.flit import Message, MessageClass, Packet
+from repro.noc.lookahead import Lookahead
+from repro.noc.vc import CreditMsg, OutputVCTracker
+
+_message_ids = itertools.count()
+_packet_ids = itertools.count()
+
+
+class Nic:
+    """One network interface: injection pipeline plus ejection sink."""
+
+    def __init__(self, config, node, stats, message_log):
+        self.cfg = config
+        self.node = node
+        self.stats = stats
+        self.message_log = message_log
+        self.tracker = OutputVCTracker(config.vcs)
+        self.queues = {mc: deque() for mc in MessageClass}
+        self._mc_rr = deque(MessageClass)
+        self._pending = None
+        # wires, connected by MeshNetwork
+        self.link_out = None
+        self.la_out = None
+        self.credit_in = None
+        self.link_in = None
+        self.credit_out = None
+        self.source = None
+
+    # ------------------------------------------------------------------
+    # message admission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec, cycle):
+        """Accept a core message and enqueue its flits for injection."""
+        destinations = frozenset(spec.destinations)
+        message = Message(
+            mid=next(_message_ids),
+            src=self.node,
+            destinations=destinations,
+            mclass=spec.mclass,
+            flits_per_packet=spec.num_flits,
+            creation_cycle=cycle,
+            is_multicast=len(destinations) > 1,
+        )
+        if len(destinations) > 1 and not self.cfg.multicast:
+            packet_dests = [frozenset([d]) for d in sorted(destinations)]
+        else:
+            packet_dests = [destinations]
+        for dests in packet_dests:
+            packet = Packet(
+                pid=next(_packet_ids),
+                message=message,
+                src=self.node,
+                destinations=dests,
+                mclass=spec.mclass,
+                num_flits=spec.num_flits,
+            )
+            message.register_packet(packet)
+            for flit in packet.make_flits():
+                self.queues[spec.mclass].append(flit)
+        self.message_log.append(message)
+        self.stats.messages_submitted += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # cycle phases
+    # ------------------------------------------------------------------
+
+    def receive(self, cycle):
+        """Sink ejected flits and absorb returned credits."""
+        if self.link_in is not None:
+            for flit in self.link_in.receive(cycle):
+                if self.node not in flit.destinations:
+                    raise RuntimeError(
+                        f"NIC {self.node} received a misrouted flit {flit}"
+                    )
+                self.stats.ejected_flits += 1
+                if flit.is_tail:
+                    # reception convention: a flit sent during cycle c is
+                    # visible at c+1 but was received at the end of c
+                    flit.packet.message.record_delivery(
+                        self.node, flit.packet, cycle - 1
+                    )
+                self.credit_out.send(cycle, CreditMsg(flit.vc, flit.is_tail))
+        if self.credit_in is not None:
+            for msg in self.credit_in.receive(cycle):
+                self.tracker.credit_return(msg)
+
+    def step(self, cycle):
+        """Send last cycle's decision, generate traffic, decide the next flit."""
+        if self._pending is not None:
+            self.link_out.send(cycle, self._pending)
+            self._pending = None
+        if self.source is not None:
+            for spec in self.source.generate(cycle, self.node):
+                self.submit(spec, cycle)
+        self._decide(cycle)
+
+    def _decide(self, cycle):
+        """VC-allocate at most one flit; its link traversal is next cycle."""
+        for _ in range(len(self._mc_rr)):
+            mclass = self._mc_rr[0]
+            self._mc_rr.rotate(-1)
+            queue = self.queues[mclass]
+            if not queue:
+                continue
+            flit = queue[0]
+            if flit.is_head:
+                if self.tracker.peek_free(mclass) is None:
+                    continue
+                out_vc = self.tracker.alloc_head(mclass, flit.pid)
+            else:
+                if self.tracker.body_vc(flit.pid) is None:
+                    continue
+                out_vc = self.tracker.consume_body(flit.pid)
+            queue.popleft()
+            flit.vc = out_vc
+            flit.injection_cycle = cycle
+            if self.cfg.bypass:
+                self.la_out.send(
+                    cycle,
+                    Lookahead(
+                        vc=out_vc,
+                        mclass=flit.mclass,
+                        pid=flit.pid,
+                        seq=flit.seq,
+                        is_head=flit.is_head,
+                        is_tail=flit.is_tail,
+                        destinations=flit.destinations,
+                    ),
+                )
+                self.stats.la_sent += 1
+            self._pending = flit
+            self.stats.injections += 1
+            return
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def backlog(self):
+        """Flits generated but not yet injected."""
+        pending = 1 if self._pending is not None else 0
+        return pending + sum(len(q) for q in self.queues.values())
+
+    def idle(self):
+        return self.backlog() == 0

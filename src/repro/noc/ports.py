@@ -1,0 +1,25 @@
+"""Router port numbering shared across the simulator.
+
+Every router has five I/O ports: the local NIC port plus the four mesh
+directions.  The numbering is part of the arbitration order (matrix and
+round-robin arbiters index their request vectors by port id), so it is
+kept in one place.
+"""
+
+LOCAL = 0
+NORTH = 1
+EAST = 2
+SOUTH = 3
+WEST = 4
+
+NUM_PORTS = 5
+
+PORT_NAMES = ("LOCAL", "NORTH", "EAST", "SOUTH", "WEST")
+
+#: Opposite direction of each mesh port; the local port has no opposite.
+OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+
+def port_name(port):
+    """Human-readable name of a port id (for tracing and errors)."""
+    return PORT_NAMES[port]

@@ -1,0 +1,106 @@
+"""Dimension-ordered routing for unicasts and multicast trees.
+
+The chip routes unicasts with deterministic XY routing and multicasts
+along a dimension-ordered XY tree (Section 3.3): a multicast flit first
+travels along the X dimension, and forks copies into the Y dimension
+(and to the local NIC) as it passes the column of each destination.
+Because every branch obeys XY ordering, the tree is deadlock free and
+the route of a flit is a pure function of its current router and its
+remaining destination set — no extra header state is needed.
+"""
+
+from __future__ import annotations
+
+from repro.noc.ports import EAST, LOCAL, NORTH, SOUTH, WEST
+
+
+def coords(node, k):
+    """(x, y) coordinates of ``node`` in a k x k mesh (row-major ids)."""
+    return node % k, node // k
+
+def node_at(x, y, k):
+    """Node id at coordinates (x, y)."""
+    if not (0 <= x < k and 0 <= y < k):
+        raise ValueError(f"({x}, {y}) outside a {k}x{k} mesh")
+    return y * k + x
+
+
+def xy_distance(src, dst, k):
+    """Manhattan hop count between two nodes."""
+    sx, sy = coords(src, k)
+    dx, dy = coords(dst, k)
+    return abs(sx - dx) + abs(sy - dy)
+
+
+def route_xy_tree(router, destinations, k):
+    """Partition ``destinations`` over the output ports of ``router``.
+
+    Returns a dict ``{port: frozenset(dest subset)}``.  For a unicast
+    (singleton set) this degenerates to classic XY routing.  The
+    partition implements the XY tree: destinations in other columns
+    continue along X; destinations in this column fork into Y; a
+    destination at this router ejects to the NIC.
+    """
+    if not destinations:
+        raise ValueError("routing an empty destination set")
+    x, y = coords(router, k)
+    west, east, north, south, local = [], [], [], [], []
+    for dest in destinations:
+        dx, dy = coords(dest, k)
+        if dx < x:
+            west.append(dest)
+        elif dx > x:
+            east.append(dest)
+        elif dy > y:
+            north.append(dest)
+        elif dy < y:
+            south.append(dest)
+        else:
+            local.append(dest)
+    out = {}
+    if local:
+        out[LOCAL] = frozenset(local)
+    if north:
+        out[NORTH] = frozenset(north)
+    if east:
+        out[EAST] = frozenset(east)
+    if south:
+        out[SOUTH] = frozenset(south)
+    if west:
+        out[WEST] = frozenset(west)
+    return out
+
+
+def next_router(router, port, k):
+    """Neighbour reached by leaving ``router`` through mesh port ``port``."""
+    x, y = coords(router, k)
+    if port == NORTH:
+        y += 1
+    elif port == SOUTH:
+        y -= 1
+    elif port == EAST:
+        x += 1
+    elif port == WEST:
+        x -= 1
+    else:
+        raise ValueError(f"port {port} does not lead to a neighbouring router")
+    return node_at(x, y, k)
+
+
+def tree_hop_counts(src, destinations, k):
+    """Link traversals of the XY tree from ``src`` covering ``destinations``.
+
+    Returns the number of router-to-router crossbar/link traversals the
+    tree uses (ejection and injection links excluded).  Used by the
+    analytical energy model and tested against the simulator's count.
+    """
+    links = 0
+    frontier = [(src, frozenset(destinations))]
+    while frontier:
+        router, dests = frontier.pop()
+        for port, subset in route_xy_tree(router, dests, k).items():
+            if port == LOCAL:
+                continue
+            links += 1
+            frontier.append((next_router(router, port, k), subset))
+    return links

@@ -1,0 +1,137 @@
+"""The synchronous cycle loop and measurement harness.
+
+Every cycle executes the same fixed phase order (arrivals, scheduled
+crossbar traversals, mSA-II, mSA-I — see DESIGN.md); because all
+cross-component state moves through fixed-delay channels, this order is
+an implementation detail and the simulation is fully deterministic for
+a given traffic seed.
+
+:meth:`Simulator.run_experiment` implements the methodology of
+Section 4.1: a scan-chain-like warm-up that is excluded from
+statistics, a measurement window in steady state, and a bounded drain
+phase so in-flight packets can complete.
+"""
+
+from __future__ import annotations
+
+from repro.noc.mesh import MeshNetwork
+from repro.noc.metrics import aggregate, summarize_window
+
+#: Cycles without a single ejection (while work is pending) that we
+#: interpret as a hang; XY routing with conservative VC allocation is
+#: deadlock free, so this trips only on a simulator bug.
+WATCHDOG_CYCLES = 10_000
+
+
+class Simulator:
+    """Drives a :class:`MeshNetwork` cycle by cycle."""
+
+    def __init__(self, config, traffic=None, name=""):
+        self.cfg = config
+        self.name = name or ("proposed" if config.bypass else "baseline")
+        self.network = MeshNetwork(config)
+        self.cycle = 0
+        self._last_progress = 0
+        if traffic is not None:
+            self.attach_traffic(traffic)
+
+    def attach_traffic(self, traffic):
+        """Install a traffic source on every NIC."""
+        traffic.bind(self.cfg)
+        for nic in self.network.nics:
+            nic.source = traffic
+
+    # ------------------------------------------------------------------
+    # cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Advance the whole network by one clock cycle."""
+        t = self.cycle
+        net = self.network
+        for router in net.routers:
+            router.receive(t)
+        for nic in net.nics:
+            nic.receive(t)
+        for nic in net.nics:
+            nic.step(t)
+        for router in net.routers:
+            router.st_stage(t)
+        for router in net.routers:
+            router.msa2_stage(t)
+        for router in net.routers:
+            router.msa1_stage(t)
+        for stats in net.router_stats:
+            stats.cycles += 1
+        for stats in net.nic_stats:
+            stats.cycles += 1
+        self._check_watchdog()
+        self.cycle += 1
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.step()
+
+    def _check_watchdog(self):
+        net = self.network
+        ejections = sum(s.ejections for s in net.router_stats)
+        if ejections != self._last_progress or net.idle():
+            self._last_progress = ejections
+            self._watchdog_start = self.cycle
+            return
+        if self.cycle - getattr(self, "_watchdog_start", self.cycle) > WATCHDOG_CYCLES:
+            raise RuntimeError(
+                f"network made no progress for {WATCHDOG_CYCLES} cycles at "
+                f"cycle {self.cycle}: likely a flow-control bug"
+            )
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def run_experiment(self, warmup=1_000, measure=10_000, drain=5_000):
+        """Warm up, measure, drain; return :class:`WindowStats`.
+
+        Latency statistics cover messages *created* inside the
+        measurement window; throughput counts flits ejected inside it.
+        The drain phase (with traffic switched off) lets in-flight
+        messages finish so low-load latency is unbiased; at saturation
+        the drain cap keeps runtime bounded and unfinished messages are
+        reported as ``incomplete_messages``.
+        """
+        net = self.network
+        self.run(warmup)
+        start_msgs = len(net.messages)
+        start_activity = aggregate(net.router_stats).snapshot()
+        start_nic = aggregate(net.nic_stats).snapshot()
+        self.run(measure)
+        end_nic = aggregate(net.nic_stats)
+        window_msgs = net.messages[start_msgs : len(net.messages)]
+        # stop generating traffic, then drain
+        sources = [nic.source for nic in net.nics]
+        for nic in net.nics:
+            nic.source = None
+        drained = 0
+        while drained < drain and not net.idle():
+            self.step()
+            drained += 1
+        for nic, source in zip(net.nics, sources):
+            nic.source = source
+        end_activity = aggregate(net.router_stats)
+        delta = end_activity - start_activity
+        ejected = end_nic.ejected_flits - start_nic.ejected_flits
+        rate = getattr(sources[0], "injection_rate", float("nan"))
+        return summarize_window(
+            self.cfg,
+            self.name,
+            rate,
+            measure,
+            window_msgs,
+            ejected,
+            delta.bypasses,
+            delta.xbar_input_traversals,
+        )
+
+    def activity(self):
+        """Aggregate router activity since construction (for power models)."""
+        return self.network.total_router_activity()

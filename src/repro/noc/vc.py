@@ -1,0 +1,158 @@
+"""Virtual-channel state: input buffers and downstream credit trackers.
+
+Flow control follows the chip: credit-based, with a free-VC queue per
+message class at every output port (the VA step of pipeline stage 1).
+An :class:`OutputVCTracker` lives at each output port (and inside each
+NIC, which acts as the upstream of its router's local input port) and
+mirrors the state of the downstream input port's VCs: which packet owns
+each VC and how many buffer slots remain.  A VC returns to the free
+queue when the *tail* flit departs the downstream buffer, which — with
+the one-cycle bypassed pipeline, one cycle of credit wire and one cycle
+of credit processing — gives the paper's 3-cycle buffer turnaround.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CreditMsg:
+    """A credit/free-VC signal returned upstream when a flit departs.
+
+    ``tail`` marks the departure of a packet's tail flit, which frees
+    the VC itself (not just one buffer slot).
+    """
+
+    vc: int
+    tail: bool
+
+
+class InputVC:
+    """One virtual channel of a router input port."""
+
+    def __init__(self, index, spec):
+        self.index = index
+        self.spec = spec
+        self.buffer = deque()
+
+    @property
+    def mclass(self):
+        return self.spec.mclass
+
+    @property
+    def depth(self):
+        return self.spec.depth
+
+    @property
+    def occupancy(self):
+        return len(self.buffer)
+
+    def write(self, flit):
+        if len(self.buffer) >= self.depth:
+            raise RuntimeError(
+                f"buffer overflow on VC {self.index}: credit accounting broken"
+            )
+        flit.stage = None
+        flit.granted_ports = set()
+        self.buffer.append(flit)
+
+    def oldest_unrequested(self):
+        """The flit that would bid in mSA-I, if any.
+
+        Only the oldest flit that has not yet been promoted may bid,
+        and only when no flit of this VC currently holds the S2 slot
+        (each VC has a single outport-request register).
+        """
+        for flit in self.buffer:
+            if flit.stage is None:
+                return flit
+            if flit.stage == "S2":
+                return None
+        return None
+
+    def s2_flit(self):
+        for flit in self.buffer:
+            if flit.stage == "S2":
+                return flit
+        return None
+
+    def pop(self, flit):
+        if not self.buffer or self.buffer[0] is not flit:
+            raise RuntimeError("out-of-order buffer pop: pipeline logic broken")
+        return self.buffer.popleft()
+
+
+class OutputVCTracker:
+    """Upstream mirror of a downstream input port's VC state."""
+
+    def __init__(self, vc_specs):
+        self.specs = tuple(vc_specs)
+        self.owner = [None] * len(self.specs)
+        self.credits = [spec.depth for spec in self.specs]
+        self._free = {}
+        for mc in {spec.mclass for spec in self.specs}:
+            self._free[mc] = deque(
+                i for i, spec in enumerate(self.specs) if spec.mclass == mc
+            )
+        self._owner_vc = {}
+
+    def peek_free(self, mclass):
+        """The VC the free queue would hand out next, or ``None``."""
+        queue = self._free.get(mclass)
+        if not queue:
+            return None
+        return queue[0]
+
+    def alloc_head(self, mclass, pid):
+        """Allocate a free VC of ``mclass`` to packet ``pid``; consume a slot."""
+        queue = self._free.get(mclass)
+        if not queue:
+            return None
+        vc = queue.popleft()
+        if self.owner[vc] is not None:
+            raise RuntimeError(f"free queue handed out an owned VC {vc}")
+        self.owner[vc] = pid
+        self._owner_vc[pid] = vc
+        self.credits[vc] -= 1
+        return vc
+
+    def body_vc(self, pid):
+        """The VC owned by packet ``pid`` iff it has a credit, else ``None``."""
+        vc = self._owner_vc.get(pid)
+        if vc is None or self.credits[vc] <= 0:
+            return None
+        return vc
+
+    def consume_body(self, pid):
+        """Spend one credit of the packet's VC for a body/tail flit."""
+        vc = self.body_vc(pid)
+        if vc is None:
+            raise RuntimeError(f"no sendable VC for packet {pid}")
+        self.credits[vc] -= 1
+        return vc
+
+    def credit_return(self, msg: CreditMsg):
+        """Process a returned credit (possibly freeing the VC)."""
+        vc = msg.vc
+        self.credits[vc] += 1
+        if self.credits[vc] > self.specs[vc].depth:
+            raise RuntimeError(f"credit overflow on VC {vc}")
+        if msg.tail:
+            pid = self.owner[vc]
+            if pid is None:
+                raise RuntimeError(f"tail credit for unowned VC {vc}")
+            if self.credits[vc] != self.specs[vc].depth:
+                raise RuntimeError(
+                    f"VC {vc} freed with {self.credits[vc]} credits outstanding"
+                )
+            self.owner[vc] = None
+            del self._owner_vc[pid]
+            self._free[self.specs[vc].mclass].append(vc)
+
+    def all_free(self):
+        """Whether every VC is unowned with full credits (for drain checks)."""
+        return all(owner is None for owner in self.owner) and all(
+            self.credits[i] == spec.depth for i, spec in enumerate(self.specs)
+        )

@@ -1,0 +1,14 @@
+"""Physical-design models: gate delays, critical paths and area."""
+
+from repro.physical.area import AreaModel
+from repro.physical.critical_path import CriticalPathAnalysis, CriticalPathReport
+from repro.physical.gates import Gate, GateChain, STD_GATES
+
+__all__ = [
+    "AreaModel",
+    "CriticalPathAnalysis",
+    "CriticalPathReport",
+    "Gate",
+    "GateChain",
+    "STD_GATES",
+]

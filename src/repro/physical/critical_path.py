@@ -1,0 +1,126 @@
+"""Critical-path analysis of the router (Table 3, Section 4.2).
+
+The critical path of both the baseline and the proposed router runs
+through the second pipeline stage, where mSA-II is performed.  The
+proposed router lengthens it with the incoming-lookahead priority mux
+in front of the matrix arbiter — the measured cost of folding the
+pipeline into a single cycle: +8% pre-layout, +21% post-layout (the
+lookahead wires land from the neighbouring router, adding wire RC that
+layout cannot hide), and silicon at 961 ps (1.04 GHz) once clock
+contamination, supply noise and temperature are added on top of the
+post-layout estimate.
+
+The gate chain below is evaluated with logical effort at a synthesis
+time unit of tau = 3.5 ps (about FO4/5 at 45nm); the wire components
+use the Elmore model of :mod:`repro.circuits.wire`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.wire import Wire
+from repro.physical.gates import STD_GATES, GateChain
+
+TAU_PS = 3.5
+
+#: mSA-II stage of the baseline router: outport-request registers
+#: through the matrix arbiter to the crossbar select and VC-allocation
+#: state setup.  (gate, electrical effort) per stage.
+_BASELINE_STAGES = [
+    (STD_GATES["DFF_CQ"], 3),  # S2 request register clock-to-q
+    (STD_GATES["INV"], 4),  # request buffer
+    (STD_GATES["NAND3"], 3),  # request valid qualification (credit, VC)
+    (STD_GATES["NOR4"], 2),  # per-output request gather
+    (STD_GATES["INV"], 5),
+    (STD_GATES["AOI22"], 3),  # matrix arbiter: priority row term
+    (STD_GATES["NAND4"], 2),  # arbiter: beats-all-requesters reduction
+    (STD_GATES["INV"], 4),
+    (STD_GATES["AOI22"], 4),  # arbiter: grant qualification
+    (STD_GATES["NAND2"], 4),  # grant consolidation
+    (STD_GATES["INV"], 6),  # grant driver
+    (STD_GATES["MUX4"], 4),  # crossbar select decode
+    (STD_GATES["INV"], 5),
+    (STD_GATES["NAND2"], 3),  # free-VC queue pop enable
+    (STD_GATES["XOR2"], 3),  # priority matrix next-state
+    (STD_GATES["INV"], 8),  # state distribution driver
+    (STD_GATES["MUX2"], 5),  # pipeline register input mux
+    (STD_GATES["NAND2"], 2),  # setup-time equivalent
+]
+
+#: Extra logic of the proposed router: the incoming lookahead enters
+#: mSA-II with priority, via a mux ahead of the arbiter request inputs.
+_LOOKAHEAD_STAGES = [
+    (STD_GATES["MUX2"], 3),  # lookahead vs buffered-request priority mux
+    (STD_GATES["INV"], 2),  # lookahead valid buffer
+]
+
+#: Equivalent control-wire lengths dominating post-layout slack (mm).
+BASELINE_WIRE_MM = 0.74
+BYPASSED_WIRE_MM = 1.15  # includes the inter-router lookahead landing
+WIRE_DRIVER_RES = 700.0
+
+#: Silicon-vs-post-layout margin: contaminated clock, supply-voltage
+#: fluctuation and temperature (Section 4.2 lists these as the reasons
+#: measured fmax trails the post-layout estimate).
+SILICON_MARGIN = 1.206
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Table 3 rows, in ps."""
+
+    pre_layout_baseline_ps: float
+    pre_layout_bypassed_ps: float
+    post_layout_baseline_ps: float
+    post_layout_bypassed_ps: float
+    measured_bypassed_ps: float
+
+    @property
+    def pre_layout_overhead(self):
+        return self.pre_layout_bypassed_ps / self.pre_layout_baseline_ps
+
+    @property
+    def post_layout_overhead(self):
+        return self.post_layout_bypassed_ps / self.post_layout_baseline_ps
+
+    @property
+    def measured_fmax_ghz(self):
+        return 1000.0 / self.measured_bypassed_ps
+
+
+class CriticalPathAnalysis:
+    """Builds and evaluates the mSA-II stage critical paths."""
+
+    def __init__(self, tau_ps=TAU_PS):
+        self.baseline_chain = GateChain(
+            "msa2_baseline", _BASELINE_STAGES, tau_ps
+        )
+        self.bypassed_chain = self.baseline_chain.extended(
+            "msa2_bypassed", _LOOKAHEAD_STAGES
+        )
+
+    def _wire_delay_ps(self, length_mm):
+        return Wire(length_mm).elmore_delay_ps(WIRE_DRIVER_RES)
+
+    def report(self):
+        pre_base = self.baseline_chain.delay_ps()
+        pre_byp = self.bypassed_chain.delay_ps()
+        post_base = pre_base + self._wire_delay_ps(BASELINE_WIRE_MM)
+        post_byp = pre_byp + self._wire_delay_ps(BYPASSED_WIRE_MM)
+        return CriticalPathReport(
+            pre_layout_baseline_ps=pre_base,
+            pre_layout_bypassed_ps=pre_byp,
+            post_layout_baseline_ps=post_base,
+            post_layout_bypassed_ps=post_byp,
+            measured_bypassed_ps=post_byp * SILICON_MARGIN,
+        )
+
+    def masked_by_core(self, core_frequency_ghz=1.0):
+        """Whether a core at the given clock hides the router overhead.
+
+        Section 4.2's point: when cores (not routers) set the clock —
+        e.g. the Intel 48-core chip runs 1 GHz cores against 2 GHz
+        routers — the 21% bypass timing overhead costs nothing.
+        """
+        return self.report().measured_fmax_ghz >= core_frequency_ghz

@@ -1,0 +1,67 @@
+"""Logical-effort gate delay model (Sutherland/Sproull/Harris).
+
+The delay of a gate is ``tau * (p + g * h)``: ``tau`` is the process
+time unit (about a fifth of an FO4 delay), ``p`` the parasitic delay,
+``g`` the logical effort and ``h`` the electrical effort (fanout).
+Chains of gates model the router's allocation logic; the critical-path
+analysis of Table 3 is built from these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One standard cell characterised by logical effort."""
+
+    name: str
+    logical_effort: float
+    parasitic: float
+
+    def delay(self, fanout, tau_ps):
+        """Absolute delay in ps at electrical effort ``fanout``."""
+        if fanout <= 0:
+            raise ValueError("fanout must be positive")
+        return tau_ps * (self.parasitic + self.logical_effort * fanout)
+
+
+#: canonical logical-effort values (inputs sized for equal drive)
+STD_GATES = {
+    "INV": Gate("INV", 1.0, 1.0),
+    "NAND2": Gate("NAND2", 4 / 3, 2.0),
+    "NAND3": Gate("NAND3", 5 / 3, 3.0),
+    "NAND4": Gate("NAND4", 2.0, 4.0),
+    "NOR2": Gate("NOR2", 5 / 3, 2.0),
+    "NOR4": Gate("NOR4", 3.0, 4.0),
+    "AOI22": Gate("AOI22", 2.0, 4.0),
+    "MUX2": Gate("MUX2", 2.0, 4.0),
+    "MUX4": Gate("MUX4", 2.5, 6.0),
+    "XOR2": Gate("XOR2", 4.0, 4.0),
+    "DFF_CQ": Gate("DFF_CQ", 1.0, 4.0),  # clock-to-q as a pseudo gate
+}
+
+
+class GateChain:
+    """A named sequence of (gate, fanout) stages."""
+
+    def __init__(self, name, stages, tau_ps):
+        if not stages:
+            raise ValueError("a chain needs at least one stage")
+        self.name = name
+        self.stages = tuple(stages)
+        self.tau_ps = tau_ps
+
+    def delay_ps(self):
+        return sum(g.delay(h, self.tau_ps) for g, h in self.stages)
+
+    def stage_delays(self):
+        return [(g.name, g.delay(h, self.tau_ps)) for g, h in self.stages]
+
+    def extended(self, name, extra_stages):
+        """A new chain with stages appended (e.g. the lookahead mux)."""
+        return GateChain(name, self.stages + tuple(extra_stages), self.tau_ps)
+
+    def __len__(self):
+        return len(self.stages)

@@ -1,0 +1,14 @@
+"""Power modelling: calibrated (silicon-proxy), ORION-style and post-layout."""
+
+from repro.power.energy_model import CalibratedEnergyModel
+from repro.power.meter import PowerBreakdown, PowerMeter
+from repro.power.orion import OrionPowerModel
+from repro.power.postlayout import PostLayoutPowerModel
+
+__all__ = [
+    "CalibratedEnergyModel",
+    "OrionPowerModel",
+    "PostLayoutPowerModel",
+    "PowerBreakdown",
+    "PowerMeter",
+]

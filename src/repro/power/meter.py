@@ -1,0 +1,121 @@
+"""Turning activity counters into the paper's power buckets.
+
+Figures 6 and 8 report three dynamic buckets — clocking circuit,
+router logic and buffer, datapath (crossbar + link) — plus leakage.
+:class:`PowerMeter` maps a window of
+:class:`~repro.noc.metrics.ActivityCounters` onto those buckets using a
+:class:`~repro.power.energy_model.CalibratedEnergyModel`; at 1 GHz one
+pJ per cycle is one mW, and other frequencies scale linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.energy_model import CalibratedEnergyModel
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power in mW, split the way Fig. 6/8 plot it."""
+
+    clock_mw: float
+    buffers_mw: float
+    logic_mw: float  # allocators + VC state + lookaheads
+    datapath_mw: float  # crossbar + links
+    leakage_mw: float
+
+    @property
+    def total_mw(self):
+        return (
+            self.clock_mw
+            + self.buffers_mw
+            + self.logic_mw
+            + self.datapath_mw
+            + self.leakage_mw
+        )
+
+    @property
+    def dynamic_mw(self):
+        return self.total_mw - self.leakage_mw
+
+    @property
+    def logic_and_buffers_mw(self):
+        """The combined 'router logic and buffer' bar of Fig. 6/8."""
+        return self.buffers_mw + self.logic_mw
+
+    def reduction_vs(self, other):
+        """Fractional total-power reduction relative to ``other``."""
+        return 1.0 - self.total_mw / other.total_mw
+
+    def as_dict(self):
+        return {
+            "clock_mw": self.clock_mw,
+            "buffers_mw": self.buffers_mw,
+            "logic_mw": self.logic_mw,
+            "datapath_mw": self.datapath_mw,
+            "leakage_mw": self.leakage_mw,
+            "total_mw": self.total_mw,
+        }
+
+
+class PowerMeter:
+    """Evaluates network power for one measurement window."""
+
+    def __init__(self, model=None, low_swing=True, num_routers=16,
+                 frequency_ghz=1.0):
+        self.model = model or CalibratedEnergyModel()
+        self.low_swing = low_swing
+        self.num_routers = num_routers
+        self.frequency_ghz = frequency_ghz
+
+    def evaluate(self, activity, cycles):
+        """Power breakdown for aggregate ``activity`` over ``cycles``.
+
+        ``activity`` is the summed router counters of the window (see
+        :func:`repro.noc.metrics.aggregate`).
+        """
+        if cycles <= 0:
+            raise ValueError("window must contain at least one cycle")
+        m = self.model
+        per_cycle_scale = self.frequency_ghz / cycles  # pJ/cycle -> mW
+
+        clock = self.num_routers * cycles * m.clock_pj_per_cycle
+        vc_state = self.num_routers * cycles * m.vc_state_pj_per_cycle
+        arb_state = self.num_routers * cycles * m.allocator_state_pj_per_cycle
+        pointers = self.num_routers * cycles * m.buffer_pointer_pj_per_cycle
+
+        buffers = (
+            activity.buffer_writes * m.buffer_write_pj
+            + activity.buffer_reads * m.buffer_read_pj
+            + activity.bypasses * m.bypass_latch_pj
+            + pointers
+        )
+        arbitration = (
+            activity.msa1_grants + activity.msa2_grants
+        ) * m.arbitration_pj
+        lookaheads = activity.la_sent * m.lookahead_pj
+        logic = arbitration + lookaheads + vc_state + arb_state
+
+        ls = self.low_swing
+        datapath = (
+            activity.xbar_input_traversals
+            * m.datapath_event_pj("xbar_input", ls)
+            + activity.xbar_output_traversals
+            * m.datapath_event_pj("xbar_output", ls)
+            + activity.link_traversals * m.datapath_event_pj("link", ls)
+            + activity.ejections * m.datapath_event_pj("ejection", ls)
+        )
+
+        return PowerBreakdown(
+            clock_mw=clock * per_cycle_scale,
+            buffers_mw=buffers * per_cycle_scale,
+            logic_mw=logic * per_cycle_scale,
+            datapath_mw=datapath * per_cycle_scale,
+            leakage_mw=self.num_routers * m.leakage_mw_per_router,
+        )
+
+    def theoretical_floor_mw(self, activity, cycles):
+        """The Section 4.1 power floor: clocking plus datapath only."""
+        full = self.evaluate(activity, cycles)
+        return full.clock_mw + full.datapath_mw

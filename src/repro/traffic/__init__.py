@@ -1,0 +1,24 @@
+"""Traffic generation: injection processes, patterns and PRBS sources."""
+
+from repro.traffic.generators import BernoulliTraffic, SyntheticBurst
+from repro.traffic.mix import (
+    BROADCAST_ONLY,
+    MIXED_TRAFFIC,
+    UNIFORM_UNICAST,
+    TrafficMix,
+    TrafficComponent,
+)
+from repro.traffic.prbs import PRBSGenerator
+from repro.traffic.spec import MessageSpec
+
+__all__ = [
+    "BROADCAST_ONLY",
+    "BernoulliTraffic",
+    "MIXED_TRAFFIC",
+    "MessageSpec",
+    "PRBSGenerator",
+    "SyntheticBurst",
+    "TrafficComponent",
+    "TrafficMix",
+    "UNIFORM_UNICAST",
+]

@@ -1,0 +1,121 @@
+"""Traffic mixes evaluated in the paper.
+
+Section 4.1 measures two patterns at 1 GHz:
+
+* *mixed traffic* — 50% broadcast requests, 25% unicast requests and
+  25% unicast responses, modelling a broadcast-based cache-coherence
+  protocol (requests are 1-flit, responses carry a cache line in 5
+  flits);
+* *broadcast-only traffic* — 100% broadcast requests (Appendix D).
+
+A :class:`TrafficMix` is a weighted set of :class:`TrafficComponent`
+templates; generators draw from it per injected packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.flit import MessageClass
+
+
+@dataclass(frozen=True)
+class TrafficComponent:
+    """One message template of a mix."""
+
+    name: str
+    weight: float
+    mclass: MessageClass
+    num_flits: int
+    broadcast: bool
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError("component weight must be non-negative")
+        if self.num_flits < 1:
+            raise ValueError("component needs at least one flit")
+        if self.broadcast and self.num_flits != 1:
+            raise ValueError("broadcasts are single-flit coherence requests")
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """A normalised weighted mixture of message templates."""
+
+    name: str
+    components: tuple
+
+    def __post_init__(self):
+        if not self.components:
+            raise ValueError("a mix needs at least one component")
+        if abs(sum(c.weight for c in self.components) - 1.0) > 1e-9:
+            raise ValueError("component weights must sum to one")
+
+    @property
+    def mean_flits_per_message(self):
+        return sum(c.weight * c.num_flits for c in self.components)
+
+    def mean_ejections_per_flit(self, num_nodes):
+        """Average NIC ejections caused per injected flit.
+
+        A broadcast flit ejects at every node (the source delivers to
+        itself through its own router, matching the paper's k^2 R
+        ejection-link load); a unicast flit ejects once.
+        """
+        ej = 0.0
+        for c in self.components:
+            fanout = num_nodes if c.broadcast else 1
+            ej += c.weight * c.num_flits * fanout
+        return ej / self.mean_flits_per_message
+
+    def saturation_injection_rate(self, num_nodes):
+        """Ejection-limited throughput ceiling, flits/node/cycle.
+
+        Each NIC can eject one flit per cycle, so the network as a
+        whole can deliver ``num_nodes`` flits per cycle; the offered
+        load at which deliveries would exceed that is the theoretical
+        throughput limit of Table 1 generalised to a mix.
+        """
+        return 1.0 / self.mean_ejections_per_flit(num_nodes)
+
+    def cumulative_weights(self):
+        total = 0.0
+        out = []
+        for c in self.components:
+            total += c.weight
+            out.append((total, c))
+        return out
+
+
+MIXED_TRAFFIC = TrafficMix(
+    "mixed",
+    (
+        TrafficComponent(
+            "broadcast_request", 0.50, MessageClass.REQUEST, 1, broadcast=True
+        ),
+        TrafficComponent(
+            "unicast_request", 0.25, MessageClass.REQUEST, 1, broadcast=False
+        ),
+        TrafficComponent(
+            "unicast_response", 0.25, MessageClass.RESPONSE, 5, broadcast=False
+        ),
+    ),
+)
+
+BROADCAST_ONLY = TrafficMix(
+    "broadcast_only",
+    (
+        TrafficComponent(
+            "broadcast_request", 1.0, MessageClass.REQUEST, 1, broadcast=True
+        ),
+    ),
+)
+
+UNIFORM_UNICAST = TrafficMix(
+    "uniform_unicast",
+    (
+        TrafficComponent(
+            "unicast_request", 1.0, MessageClass.REQUEST, 1, broadcast=False
+        ),
+    ),
+)

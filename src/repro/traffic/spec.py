@@ -1,0 +1,26 @@
+"""The interface between traffic sources and NICs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.flit import MessageClass
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """A core-level message request handed to a NIC for injection."""
+
+    destinations: frozenset
+    mclass: MessageClass
+    num_flits: int
+
+    def __post_init__(self):
+        if not self.destinations:
+            raise ValueError("a message needs at least one destination")
+        if self.num_flits < 1:
+            raise ValueError("a message needs at least one flit")
+
+    @property
+    def is_multicast(self):
+        return len(self.destinations) > 1

@@ -1,0 +1,130 @@
+"""Table 1 theoretical limits and Appendix A derivations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.limits import MeshLimits
+
+
+class TestTable1Values:
+    """The exact k=4 numbers the paper's Table 1/2 quote."""
+
+    def setup_method(self):
+        self.lim = MeshLimits(4)
+
+    def test_unicast_hops(self):
+        assert self.lim.unicast_hops == pytest.approx(10 / 3)
+
+    def test_broadcast_hops_paper_formula(self):
+        assert self.lim.broadcast_hops_paper == 5.5
+
+    def test_unicast_channel_loads(self):
+        assert self.lim.bisection_load("unicast", 1.0) == 1.0  # kR/4
+        assert self.lim.ejection_load("unicast", 1.0) == 1.0  # R
+
+    def test_broadcast_channel_loads(self):
+        assert self.lim.bisection_load("broadcast", 1.0) == 4.0  # k^2 R/4
+        assert self.lim.ejection_load("broadcast", 1.0) == 16.0  # k^2 R
+
+    def test_broadcast_limited_by_ejection(self):
+        """Appendix A: broadcast throughput binds on ejection links."""
+        rate = 0.05
+        assert self.lim.ejection_load("broadcast", rate) > self.lim.bisection_load(
+            "broadcast", rate
+        )
+
+    def test_unicast_max_rate_k4(self):
+        # k <= 4: ejection binds, R = 1
+        assert self.lim.max_injection_rate("unicast") == 1.0
+
+    def test_broadcast_max_rate(self):
+        assert self.lim.max_injection_rate("broadcast") == pytest.approx(1 / 16)
+
+    def test_throughput_limit_gbps(self):
+        # 16 nodes x 64b x 1GHz = 1024 Gb/s for both traffic types
+        assert self.lim.throughput_limit_gbps("unicast") == 1024.0
+        assert self.lim.throughput_limit_gbps("broadcast") == 1024.0
+
+    def test_energy_limits(self):
+        # unicast: (H+1) Exbar + H Elink; broadcast: k^2 Exbar + (k^2-1) Elink
+        e = self.lim.energy_limit("unicast", 2.0, 3.0)
+        assert e == pytest.approx((10 / 3 + 1) * 2 + (10 / 3) * 3)
+        e = self.lim.energy_limit("broadcast", 2.0, 3.0)
+        assert e == 16 * 2 + 15 * 3
+
+    def test_latency_limit_with_nic(self):
+        assert self.lim.latency_limit("unicast") == pytest.approx(10 / 3 + 2)
+        assert self.lim.latency_limit("broadcast") == 7.5
+
+
+class TestFormulas:
+    def test_odd_k_broadcast_formula(self):
+        lim = MeshLimits(5)
+        assert lim.broadcast_hops_paper == pytest.approx(4 * 16 / 10)
+
+    def test_broadcast_hops_exact_matches_geometry(self):
+        """Fig. 9: furthest destination is the opposite quadrant corner."""
+        lim = MeshLimits(4)
+        # exact average of max-distance over all 16 sources
+        assert lim.broadcast_hops_exact == pytest.approx(5.0)
+        # the paper's printed (3k-1)/2 is the +1/2 variant
+        assert lim.broadcast_hops_paper - lim.broadcast_hops_exact == 0.5
+
+    def test_unicast_exact_below_paper_formula(self):
+        """The paper's 2(k+1)/3 upper-bounds the exact mean distance."""
+        for k in (2, 4, 8):
+            lim = MeshLimits(k)
+            assert lim.unicast_hops_exact <= lim.unicast_hops
+
+    def test_bisection_binds_large_k(self):
+        lim = MeshLimits(8)
+        assert lim.max_injection_rate("unicast") == 0.5  # 4/k
+
+    @given(st.integers(2, 16))
+    def test_monotone_in_k(self, k):
+        lim, big = MeshLimits(k), MeshLimits(k + 1)
+        assert big.unicast_hops > lim.unicast_hops
+        assert big.broadcast_hops_paper > lim.broadcast_hops_paper
+        assert big.energy_limit("broadcast", 1, 1) > lim.energy_limit(
+            "broadcast", 1, 1
+        )
+
+    @given(st.integers(2, 16), st.floats(0.001, 1.0))
+    def test_loads_linear_in_rate(self, k, rate):
+        lim = MeshLimits(k)
+        for traffic in ("unicast", "broadcast"):
+            assert lim.bisection_load(traffic, rate) == pytest.approx(
+                rate * lim.bisection_load(traffic, 1.0)
+            )
+
+    def test_broadcast_energy_quadratic(self):
+        """Appendix A: the broadcast energy limit grows as k^2."""
+        e4 = MeshLimits(4).energy_limit("broadcast", 1.0, 0.0)
+        e8 = MeshLimits(8).energy_limit("broadcast", 1.0, 0.0)
+        assert e8 / e4 == 4.0
+
+    def test_invalid_traffic_rejected(self):
+        lim = MeshLimits(4)
+        with pytest.raises(ValueError):
+            lim.latency_limit("hotspot")
+        with pytest.raises(ValueError):
+            lim.bisection_load("hotspot", 1.0)
+        with pytest.raises(ValueError):
+            lim.energy_limit("hotspot", 1, 1)
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            MeshLimits(1)
+
+
+class TestMixLimits:
+    def test_mixed_saturation_rate(self):
+        from repro.traffic.mix import MIXED_TRAFFIC
+
+        lim = MeshLimits(4)
+        assert lim.mix_saturation_rate(MIXED_TRAFFIC) == pytest.approx(1 / 4.75)
+
+    def test_mix_throughput_ceiling(self):
+        from repro.traffic.mix import BROADCAST_ONLY
+
+        assert MeshLimits(4).mix_throughput_limit_gbps(BROADCAST_ONLY) == 1024.0

@@ -1,0 +1,143 @@
+"""Table 2 prototype comparison and zero-load latency calculators."""
+
+import pytest
+
+from repro.analysis.prototypes import PROTOTYPES, prototype_comparison
+from repro.analysis.saturation import find_saturation, saturation_throughput
+from repro.analysis.zero_load import zero_load_latency, zero_load_latency_config
+from repro.core.presets import (
+    baseline_network,
+    proposed_network,
+    textbook_network,
+)
+
+
+def chip(name):
+    return next(c for c in PROTOTYPES if c.name == name)
+
+
+class TestTable2:
+    def test_four_chips_compared(self):
+        names = {c.name for c in PROTOTYPES}
+        assert names == {"Intel Teraflops", "Tilera TILE64", "SWIFT", "This work"}
+
+    def test_teraflops_unicast_zero_load(self):
+        # 5-stage pipeline x 6 average hops = 30 cycles (Table 2)
+        assert chip("Intel Teraflops").zero_load("unicast") == 30
+
+    def test_teraflops_broadcast_zero_load(self):
+        # 57.5 flight + 62 serialisation = 119.5 ~ paper's 120.5
+        assert chip("Intel Teraflops").zero_load("broadcast") == pytest.approx(
+            119.5
+        )
+
+    def test_this_work_zero_load(self):
+        work = chip("This work")
+        assert work.zero_load("unicast") == pytest.approx(10 / 3)
+        assert work.zero_load("broadcast") == 5.5
+
+    def test_channel_loads(self):
+        tf = chip("Intel Teraflops")
+        assert tf.channel_load("unicast") == 64
+        assert tf.channel_load("broadcast") == 4096
+        work = chip("This work")
+        assert work.channel_load("unicast") == 16
+        assert work.channel_load("broadcast") == 16  # multicast support
+
+    def test_bisection_bandwidths(self):
+        assert chip("Intel Teraflops").bisection_bandwidth_gbps == 1560.0
+        assert chip("This work").bisection_bandwidth_gbps == 256.0
+        assert chip("SWIFT").bisection_bandwidth_gbps == pytest.approx(115.2)
+        assert chip("Tilera TILE64").bisection_bandwidth_gbps == 960.0
+
+    def test_delay_per_hop(self):
+        assert chip("Intel Teraflops").delay_per_hop_ns == 1.0
+        assert chip("This work").delay_per_hop_ns == 1.0
+
+    def test_comparison_rows_carry_paper_values(self):
+        rows = prototype_comparison()
+        assert len(rows) == 4
+        for row in rows:
+            assert "paper" in row and "zero_load_unicast" in row["paper"]
+
+    def test_multicast_chip_beats_all_on_broadcast_load(self):
+        work = chip("This work")
+        for other in PROTOTYPES:
+            if other.name != "This work":
+                assert work.channel_load("broadcast") < other.channel_load(
+                    "broadcast"
+                )
+
+
+class TestZeroLoad:
+    def test_serialization_penalty_without_multicast(self):
+        with_mc = zero_load_latency(4, 1, "broadcast", multicast_support=True)
+        without = zero_load_latency(4, 1, "broadcast", multicast_support=False)
+        assert without - with_mc == 14  # k^2 - 2
+
+    def test_config_variants(self):
+        assert zero_load_latency_config(proposed_network(), "unicast") == (
+            pytest.approx(10 / 3 + 2)
+        )
+        assert zero_load_latency_config(baseline_network(), "unicast") == (
+            pytest.approx(10 + 2)
+        )
+        assert zero_load_latency_config(textbook_network(), "unicast") == (
+            pytest.approx(40 / 3 + 2)
+        )
+
+    def test_multiflit_serialization(self):
+        lat1 = zero_load_latency(4, 1, "unicast", serialization_flits=1)
+        lat5 = zero_load_latency(4, 1, "unicast", serialization_flits=5)
+        assert lat5 - lat1 == 4
+
+    def test_unknown_traffic(self):
+        with pytest.raises(ValueError):
+            zero_load_latency(4, 1, "hotspot")
+
+
+class FakePoint:
+    def __init__(self, rate, latency, gbps):
+        self.injection_rate = rate
+        self.avg_latency = latency
+        self.throughput_gbps = gbps
+
+
+class TestSaturation:
+    def curve(self):
+        return [
+            FakePoint(0.02, 10.0, 100),
+            FakePoint(0.06, 12.0, 300),
+            FakePoint(0.10, 20.0, 500),
+            FakePoint(0.14, 60.0, 650),
+            FakePoint(0.18, 400.0, 700),
+        ]
+
+    def test_finds_three_x_crossing(self):
+        rate = find_saturation(self.curve())
+        assert 0.10 < rate < 0.14  # crosses 30 between those points
+
+    def test_interpolates_linearly(self):
+        rate = find_saturation(self.curve())
+        assert rate == pytest.approx(0.10 + 0.04 * (30 - 20) / (60 - 20))
+
+    def test_explicit_zero_load_reference(self):
+        rate = find_saturation(self.curve(), zero_load_latency=5.0)
+        assert rate < 0.10
+
+    def test_never_saturates(self):
+        pts = [FakePoint(0.02, 10, 100), FakePoint(0.06, 11, 300)]
+        assert find_saturation(pts) is None
+        assert saturation_throughput(pts) == 300
+
+    def test_saturation_throughput_interpolates(self):
+        thr = saturation_throughput(self.curve())
+        assert 500 < thr < 650
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            find_saturation([])
+
+    def test_unsorted_input_handled(self):
+        pts = list(reversed(self.curve()))
+        assert find_saturation(pts) == find_saturation(self.curve())

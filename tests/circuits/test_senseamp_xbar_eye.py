@@ -1,0 +1,161 @@
+"""Sense-amp reliability, crossbar multicast power, eye margins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.crossbar import FullSwingCrossbar, LowSwingCrossbar
+from repro.circuits.eye import LinkConfig, eye_margin, repeated_vs_direct
+from repro.circuits.sense_amp import SenseAmplifier, q_function
+
+
+class TestSenseAmplifier:
+    def test_chip_design_point_is_three_sigma(self):
+        """The paper chose 300mV for >= 3-sigma reliability."""
+        assert SenseAmplifier().sigma_margin(300) == pytest.approx(3.0)
+
+    def test_three_sigma_failure_rate(self):
+        p = SenseAmplifier().failure_probability(300)
+        assert p == pytest.approx(2 * q_function(3.0), rel=1e-6)
+        assert 2e-3 < p < 3e-3
+
+    def test_failure_monotone_in_swing(self):
+        amp = SenseAmplifier()
+        probs = [amp.failure_probability(s) for s in (100, 200, 300, 400)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monte_carlo_matches_analytic(self):
+        amp = SenseAmplifier()
+        mc = amp.monte_carlo_failures(150, runs=200_000, seed=1)
+        analytic = 2 * q_function(amp.sigma_margin(150))
+        assert mc == pytest.approx(analytic, rel=0.1)
+
+    def test_monte_carlo_1000_runs_like_paper(self):
+        # at 300mV, 1000 runs typically see a handful of failures at most
+        assert SenseAmplifier().monte_carlo_failures(300, runs=1000, seed=0) < 0.02
+
+    def test_monte_carlo_deterministic_by_seed(self):
+        amp = SenseAmplifier()
+        assert amp.monte_carlo_failures(200, seed=5) == amp.monte_carlo_failures(
+            200, seed=5
+        )
+
+    def test_min_swing_for_sigma(self):
+        amp = SenseAmplifier()
+        assert amp.min_swing_for_sigma(3) == pytest.approx(300.0)
+        with pytest.raises(ValueError):
+            amp.min_swing_for_sigma(0)
+
+    def test_invalid_swing(self):
+        with pytest.raises(ValueError):
+            SenseAmplifier().failure_probability(0)
+
+    def test_custom_sigma(self):
+        assert SenseAmplifier(offset_sigma_mv=25).sigma_margin(300) == 6.0
+
+
+class TestCrossbarMulticast:
+    """Fig. 11: power grows linearly with multicast fanout."""
+
+    def test_power_linear_in_fanout(self):
+        xbar = LowSwingCrossbar()
+        powers = [xbar.dynamic_power_uw(5.0, fanout=m) for m in range(1, 6)]
+        increments = [b - a for a, b in zip(powers, powers[1:])]
+        assert all(
+            inc == pytest.approx(increments[0], rel=1e-9) for inc in increments
+        )
+
+    def test_shared_input_wire_constant(self):
+        """The intercept is the horizontal (input) wire charge."""
+        xbar = LowSwingCrossbar()
+        e1 = xbar.traversal_energy_fj(fanout=1)
+        e2 = xbar.traversal_energy_fj(fanout=2)
+        assert e2 - e1 == pytest.approx(xbar.rsd.energy_per_bit_fj())
+        assert e1 - (e2 - e1) == pytest.approx(xbar.input_energy_fj())
+
+    def test_broadcast_cheaper_than_five_unicasts(self):
+        xbar = LowSwingCrossbar()
+        assert xbar.traversal_energy_fj(fanout=5) < 5 * xbar.traversal_energy_fj(
+            fanout=1
+        )
+
+    def test_flit_energy_scales_with_bits(self):
+        xbar = LowSwingCrossbar()
+        assert xbar.flit_energy_fj(1) == pytest.approx(
+            64 * xbar.traversal_energy_fj(1)
+        )
+
+    def test_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            LowSwingCrossbar().traversal_energy_fj(fanout=0)
+        with pytest.raises(ValueError):
+            LowSwingCrossbar().traversal_energy_fj(fanout=6)
+
+    def test_low_swing_beats_full_swing_crossbar(self):
+        ls, fs = LowSwingCrossbar(), FullSwingCrossbar()
+        for fanout in range(1, 6):
+            assert ls.traversal_energy_fj(fanout) < fs.traversal_energy_fj(fanout)
+
+    def test_full_swing_replication_linear(self):
+        fs = FullSwingCrossbar()
+        assert fs.traversal_energy_fj(4) == pytest.approx(
+            4 * fs.traversal_energy_fj(1)
+        )
+
+    def test_crossbar_supports_multi_ghz(self):
+        assert LowSwingCrossbar().max_clock_ghz() > 4.0
+
+    def test_port_count_validation(self):
+        with pytest.raises(ValueError):
+            LowSwingCrossbar(ports=1)
+
+
+class TestEyeMargins:
+    """Fig. 12: repeated vs directly-transmitted 2mm low-swing links."""
+
+    def test_repeated_has_larger_eye(self):
+        out = repeated_vs_direct(runs=300, seed=2)
+        assert out["repeated"]["mean_eye_mv"] > out["direct"]["mean_eye_mv"]
+        assert out["repeated"]["worst_eye_mv"] >= out["direct"]["worst_eye_mv"]
+
+    def test_repeated_costs_a_cycle(self):
+        out = repeated_vs_direct(runs=100)
+        assert out["repeated"]["cycles"] == 2
+        assert out["direct"]["cycles"] == 1
+
+    def test_repeated_costs_more_energy(self):
+        """Paper: ~28% more energy for the repeated configuration."""
+        out = repeated_vs_direct(runs=100)
+        assert 0.15 < out["energy_overhead"] < 0.55
+
+    def test_eye_closes_at_high_rate(self):
+        cfg = LinkConfig("direct", 2.0, segments=1)
+        fast = eye_margin(cfg, bit_time_ps=100)
+        slow = eye_margin(cfg, bit_time_ps=1500)
+        assert fast < slow
+        assert slow <= cfg.swing_v
+
+    def test_eye_degrades_with_wire_resistance(self):
+        cfg = LinkConfig("direct", 2.0, segments=1)
+        assert eye_margin(cfg, 400, wire_res_scale=1.3) <= eye_margin(
+            cfg, 400, wire_res_scale=0.8
+        )
+
+    def test_eye_clamped_nonnegative(self):
+        cfg = LinkConfig("direct", 2.0, segments=1)
+        assert eye_margin(cfg, bit_time_ps=1) == 0.0
+
+    @given(st.floats(150, 2000))
+    @settings(max_examples=30)
+    def test_repeated_never_worse(self, bit_time):
+        rep = LinkConfig("r", 2.0, segments=2)
+        direct = LinkConfig("d", 2.0, segments=1)
+        assert eye_margin(rep, bit_time) >= eye_margin(direct, bit_time)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig("bad", 2.0, segments=0)
+
+    def test_deterministic_by_seed(self):
+        a = repeated_vs_direct(runs=200, seed=3)
+        b = repeated_vs_direct(runs=200, seed=3)
+        assert a == b

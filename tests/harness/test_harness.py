@@ -1,0 +1,99 @@
+"""Sweep runner, table rendering and experiment drivers (fast settings)."""
+
+import pytest
+
+from repro import proposed_network
+from repro.harness import experiments as exp
+from repro.harness.sweep import default_rates, run_point, run_sweep
+from repro.harness.tables import format_series, format_table
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC
+
+FAST = dict(warmup=200, measure=1000, drain=1500)
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_format_series_joins_on_x(self):
+        out = format_series(
+            {"p": [(1, 10.0), (2, 20.0)], "b": [(1, 30.0)]}, "rate", "lat"
+        )
+        assert "p lat" in out and "b lat" in out
+
+
+class TestSweep:
+    def test_run_point_returns_stats(self):
+        stats = run_point(proposed_network(), MIXED_TRAFFIC, 0.03, **FAST)
+        assert stats.injection_rate == 0.03
+        assert stats.messages_measured > 0
+        assert stats.avg_latency > 0
+
+    def test_run_sweep_orders_points(self):
+        pts = run_sweep(
+            proposed_network(), MIXED_TRAFFIC, [0.02, 0.05], **FAST
+        )
+        assert [p.injection_rate for p in pts] == [0.02, 0.05]
+
+    def test_default_rates_span_ceiling(self):
+        rates = default_rates(BROADCAST_ONLY, 16, points=6)
+        assert len(rates) == 6
+        assert rates[-1] > BROADCAST_ONLY.saturation_injection_rate(16)
+        assert all(0 < r <= 1 for r in rates)
+
+
+class TestExperimentDrivers:
+    def test_table1_rows(self):
+        rows = exp.table1_limits(ks=(2, 4))
+        assert [r["k"] for r in rows] == [2, 4]
+        assert rows[1]["broadcast_hops"] == 5.5
+
+    def test_table2_rows(self):
+        assert len(exp.table2_prototypes()) == 4
+
+    def test_table3_report(self):
+        report = exp.table3_critical_path()
+        assert report.measured_fmax_ghz == pytest.approx(1.04, abs=0.02)
+
+    def test_table4_area(self):
+        assert exp.table4_area().crossbar_overhead == pytest.approx(3.1, abs=0.05)
+
+    def test_fig7_rows(self):
+        rows = exp.fig7_lowswing_energy()
+        assert rows[0]["advantage"] == pytest.approx(3.2, rel=0.05)
+        assert rows[0]["rsd_max_clock_ghz"] > rows[1]["rsd_max_clock_ghz"]
+
+    def test_fig10_rows(self):
+        rows = exp.fig10_reliability(swings_mv=(200, 300), runs=300)
+        assert rows[0]["failure_analytic"] > rows[1]["failure_analytic"]
+        assert rows[0]["energy_fj"] < rows[1]["energy_fj"]
+        assert rows[1]["sigma_margin"] == pytest.approx(3.0)
+
+    def test_fig11_rows_linear(self):
+        rows = exp.fig11_multicast_power()
+        powers = [r["power_uw"] for r in rows]
+        diffs = [b - a for a, b in zip(powers, powers[1:])]
+        assert all(d == pytest.approx(diffs[0]) for d in diffs)
+
+    def test_fig12_keys(self):
+        out = exp.fig12_eye_margin(runs=100)
+        assert {"repeated", "direct", "energy_overhead"} <= set(out)
+
+    def test_fig5_structure_fast(self):
+        result = exp.fig5_mixed_traffic(rates=[0.03, 0.1], measure=800,
+                                        warmup=200, drain=1000)
+        assert len(result["proposed"]) == 2
+        assert result["throughput_limit_gbps"] == 1024.0
+        summary = exp.summarize_sweeps(result)
+        assert 0 < summary["low_load_latency_reduction"] < 1
+
+    def test_zero_load_model_check(self):
+        assert exp.zero_load_model_check() == pytest.approx(10 / 3 + 2)

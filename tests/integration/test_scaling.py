@@ -1,0 +1,73 @@
+"""The simulator and analysis generalise beyond the chip's k=4."""
+
+import pytest
+
+from repro import Simulator, proposed_network, baseline_network
+from repro.analysis.limits import MeshLimits
+from repro.noc.flit import MessageClass
+from repro.noc.routing import xy_distance
+from repro.traffic import BernoulliTraffic, MessageSpec, SyntheticBurst
+from repro.traffic.mix import UNIFORM_UNICAST
+
+
+class TestSmallMesh:
+    def test_k2_unicast_latency(self):
+        cfg = proposed_network(k=2)
+        spec = MessageSpec(frozenset([3]), MessageClass.REQUEST, 1)
+        sim = Simulator(cfg, SyntheticBurst({(2, 0): [spec]}))
+        sim.run(40)
+        assert sim.network.messages[0].latency == xy_distance(0, 3, 2) + 2
+
+    def test_k2_broadcast(self):
+        cfg = proposed_network(k=2)
+        spec = MessageSpec(frozenset(range(4)), MessageClass.REQUEST, 1)
+        sim = Simulator(cfg, SyntheticBurst({(2, 1): [spec]}))
+        sim.run(60)
+        assert sim.network.messages[0].complete
+        assert sim.network.total_router_activity().ejections == 4
+
+
+class TestLargeMesh:
+    def test_k8_broadcast_delivery(self):
+        cfg = proposed_network(k=8)
+        spec = MessageSpec(frozenset(range(64)), MessageClass.REQUEST, 1)
+        sim = Simulator(cfg, SyntheticBurst({(2, 0): [spec]}))
+        sim.run(150)
+        msg = sim.network.messages[0]
+        assert msg.complete
+        # corner source: furthest corner is 14 hops away
+        assert msg.latency == 14 + 2
+        # spanning tree: exactly k^2 - 1 links, k^2 ejections
+        activity = sim.network.total_router_activity()
+        assert activity.link_traversals == 63
+        assert activity.ejections == 64
+
+    def test_k8_uniform_traffic_runs(self):
+        cfg = proposed_network(k=8)
+        sim = Simulator(cfg, BernoulliTraffic(UNIFORM_UNICAST, 0.05, seed=3))
+        stats = sim.run_experiment(warmup=200, measure=800, drain=1500)
+        assert stats.messages_measured > 0
+        # zero-load-ish latency tracks the k=8 limit
+        assert stats.avg_latency < 3 * MeshLimits(8).latency_limit("unicast")
+
+    def test_k8_bisection_binds(self):
+        """For k > 4 the unicast limit moves to the bisection links."""
+        lim = MeshLimits(8)
+        assert lim.max_injection_rate("unicast") == 0.5
+        base = baseline_network(k=8)
+        assert base.num_nodes == 64
+
+
+class TestFrequencyScaling:
+    def test_throughput_scales_with_clock(self):
+        cfg = proposed_network(frequency_ghz=2.0)
+        sim = Simulator(cfg, BernoulliTraffic(UNIFORM_UNICAST, 0.1, seed=2))
+        stats = sim.run_experiment(warmup=200, measure=800, drain=800)
+        cfg1 = proposed_network()
+        sim1 = Simulator(cfg1, BernoulliTraffic(UNIFORM_UNICAST, 0.1, seed=2))
+        stats1 = sim1.run_experiment(warmup=200, measure=800, drain=800)
+        # identical cycle behaviour, Gb/s doubles with the clock
+        assert stats.received_flits == stats1.received_flits
+        assert stats.throughput_gbps == pytest.approx(
+            2 * stats1.throughput_gbps
+        )

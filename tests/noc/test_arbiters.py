@@ -1,0 +1,132 @@
+"""Round-robin and matrix arbiter behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.arbiters import MatrixArbiter, RoundRobinArbiter
+
+
+class TestRoundRobin:
+    def test_single_requester_wins(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([2]) == 2
+
+    def test_no_requesters(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([]) is None
+
+    def test_pointer_advances_past_winner(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([0, 1, 2, 3]) == 0
+        assert arb.peek() == 1
+
+    def test_full_contention_round_robins(self):
+        arb = RoundRobinArbiter(4)
+        winners = [arb.grant([0, 1, 2, 3]) for _ in range(8)]
+        assert winners == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_starvation_freedom_under_contention(self):
+        arb = RoundRobinArbiter(5)
+        served = set()
+        for _ in range(5):
+            served.add(arb.grant([0, 1, 2, 3, 4]))
+        assert served == {0, 1, 2, 3, 4}
+
+    def test_skips_non_requesters(self):
+        arb = RoundRobinArbiter(4)
+        arb.grant([0, 1, 2, 3])  # pointer now at 1
+        assert arb.grant([0, 3]) == 3
+
+    def test_wraps_around(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([2])
+        assert arb.grant([0]) == 0
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=8))
+    def test_winner_is_always_a_requester(self, requests):
+        arb = RoundRobinArbiter(8)
+        winner = arb.grant(requests)
+        assert winner in set(requests)
+
+    @given(st.lists(st.sets(st.integers(0, 5), min_size=1), min_size=2, max_size=30))
+    def test_bounded_wait(self, rounds):
+        """A requester that requests every round is served within n rounds."""
+        arb = RoundRobinArbiter(6)
+        persistent = 3
+        waited = 0
+        for req in rounds:
+            winner = arb.grant(req | {persistent})
+            if winner == persistent:
+                waited = 0
+            else:
+                waited += 1
+            assert waited <= 6
+
+    def test_deterministic_sequence(self):
+        a, b = RoundRobinArbiter(4), RoundRobinArbiter(4)
+        reqs = [[0, 2], [1, 3], [0, 1, 2, 3], [2], [0, 3]]
+        assert [a.grant(r) for r in reqs] == [b.grant(r) for r in reqs]
+
+
+class TestMatrixArbiter:
+    def test_single_requester_wins(self):
+        arb = MatrixArbiter(5)
+        assert arb.grant([4]) == 4
+
+    def test_no_requesters(self):
+        arb = MatrixArbiter(5)
+        assert arb.grant([]) is None
+
+    def test_initial_priority_order(self):
+        arb = MatrixArbiter(4)
+        assert arb.grant([1, 2, 3]) == 1
+
+    def test_winner_becomes_lowest_priority(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([0, 1]) == 0
+        assert arb.grant([0, 1]) == 1
+        assert arb.grant([0, 2]) == 2
+
+    def test_least_recently_served_fairness(self):
+        arb = MatrixArbiter(4)
+        winners = [arb.grant([0, 1, 2, 3]) for _ in range(8)]
+        assert winners[:4] == [0, 1, 2, 3]
+        assert winners[4:] == [0, 1, 2, 3]
+
+    def test_priority_is_total_order(self):
+        arb = MatrixArbiter(5)
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert arb.wins_over(i, j) != arb.wins_over(j, i)
+
+    def test_duplicate_requests_collapse(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([2, 2, 2]) == 2
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            MatrixArbiter(0)
+
+    @given(st.lists(st.sets(st.integers(0, 4), min_size=1), min_size=1, max_size=40))
+    def test_winner_always_a_requester_and_no_starvation(self, rounds):
+        arb = MatrixArbiter(5)
+        waiting = {}
+        for req in rounds:
+            winner = arb.grant(sorted(req))
+            assert winner in req
+            for r in req:
+                waiting[r] = 0 if r == winner else waiting.get(r, 0) + 1
+                assert waiting[r] <= 5
+
+    @given(st.sets(st.integers(0, 4), min_size=2))
+    def test_state_update_consistent(self, req):
+        arb = MatrixArbiter(5)
+        winner = arb.grant(sorted(req))
+        for other in req:
+            if other != winner:
+                assert arb.wins_over(other, winner)

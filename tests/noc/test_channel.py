@@ -1,0 +1,82 @@
+"""Fixed-delay channel semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.channel import Channel, MultiChannel
+
+
+class TestChannel:
+    def test_delay_one_visibility(self):
+        ch = Channel(1)
+        ch.send(5, "x")
+        assert ch.receive(5) == []
+        assert ch.receive(6) == ["x"]
+
+    def test_delay_two(self):
+        ch = Channel(2)
+        ch.send(0, "a")
+        assert ch.receive(1) == []
+        assert ch.receive(2) == ["a"]
+
+    def test_receive_drains(self):
+        ch = Channel(1)
+        ch.send(0, "a")
+        ch.receive(1)
+        assert ch.receive(1) == []
+
+    def test_fifo_order(self):
+        ch = Channel(1)
+        ch.send(0, "a")
+        ch.send(1, "b")
+        assert ch.receive(2) == ["a", "b"]
+
+    def test_double_drive_same_cycle_rejected(self):
+        ch = Channel(1)
+        ch.send(3, "a")
+        with pytest.raises(RuntimeError):
+            ch.send(3, "b")
+
+    def test_zero_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(0)
+
+    def test_peek_does_not_drain(self):
+        ch = Channel(1)
+        ch.send(0, "a")
+        assert ch.peek_arrivals(1) == ["a"]
+        assert ch.receive(1) == ["a"]
+
+    def test_in_flight_count(self):
+        ch = Channel(3)
+        ch.send(0, "a")
+        ch.send(1, "b")
+        assert ch.in_flight == 2
+        ch.receive(3)
+        assert ch.in_flight == 1
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=20, unique=True))
+    def test_every_payload_arrives_exactly_delay_later(self, cycles):
+        ch = Channel(2)
+        for c in sorted(cycles):
+            ch.send(c, c)
+        received = []
+        for t in range(max(cycles) + 3):
+            received.extend(ch.receive(t))
+        assert received == sorted(cycles)
+
+
+class TestMultiChannel:
+    def test_multiple_sends_same_cycle(self):
+        ch = MultiChannel(2)
+        ch.send(0, "a")
+        ch.send(0, "b")
+        assert ch.receive(2) == ["a", "b"]
+
+    def test_preserves_order_across_cycles(self):
+        ch = MultiChannel(1)
+        ch.send(0, 1)
+        ch.send(0, 2)
+        ch.send(1, 3)
+        assert ch.receive(1) == [1, 2]
+        assert ch.receive(2) == [3]

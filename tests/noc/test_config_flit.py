@@ -1,0 +1,121 @@
+"""NocConfig validation and flit/packet/message semantics."""
+
+import pytest
+
+from repro.noc.config import NocConfig, VCSpec, proposed_vc_config
+from repro.noc.flit import Flit, Message, MessageClass, Packet
+
+
+class TestNocConfig:
+    def test_chip_defaults(self):
+        cfg = NocConfig()
+        assert cfg.k == 4
+        assert cfg.num_nodes == 16
+        assert cfg.flit_bits == 64
+        assert cfg.num_vcs == 6
+        assert cfg.buffers_per_port == 10
+        assert cfg.frequency_ghz == 1.0
+
+    def test_vc_classes(self):
+        cfg = NocConfig()
+        assert cfg.vcs_of_class(MessageClass.REQUEST) == (0, 1, 2, 3)
+        assert cfg.vcs_of_class(MessageClass.RESPONSE) == (4, 5)
+
+    def test_ejection_bandwidth(self):
+        assert NocConfig().ejection_bandwidth_gbps == 1024.0
+
+    def test_link_delay(self):
+        assert NocConfig().link_delay == 1
+        assert NocConfig(
+            separate_st_lt=True, bypass=False
+        ).link_delay == 2
+
+    def test_with_override(self):
+        cfg = NocConfig().with_(k=8)
+        assert cfg.k == 8
+        assert cfg.num_nodes == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k=1),
+            dict(flit_bits=0),
+            dict(frequency_ghz=0),
+            dict(vcs=()),
+            dict(vcs=(VCSpec(MessageClass.REQUEST, 1),)),  # no RESPONSE VC
+            dict(bypass=True, separate_st_lt=True),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NocConfig(**kwargs)
+
+    def test_proposed_vc_config_sizing(self):
+        vcs = proposed_vc_config()
+        req = [v for v in vcs if v.mclass == MessageClass.REQUEST]
+        resp = [v for v in vcs if v.mclass == MessageClass.RESPONSE]
+        assert len(req) == 4 and all(v.depth == 1 for v in req)
+        assert len(resp) == 2 and all(v.depth == 3 for v in resp)
+
+
+class TestPacketMessage:
+    def make_message(self, dests, flits=1, mclass=MessageClass.REQUEST):
+        return Message(1, 0, frozenset(dests), mclass, flits, 10)
+
+    def test_packet_validation(self):
+        msg = self.make_message([1])
+        with pytest.raises(ValueError):
+            Packet(1, msg, 0, frozenset([1]), MessageClass.REQUEST, 0)
+
+    def test_multiflit_multicast_rejected(self):
+        msg = self.make_message([1, 2], flits=5)
+        with pytest.raises(NotImplementedError):
+            Packet(1, msg, 0, frozenset([1, 2]), MessageClass.RESPONSE, 5)
+
+    def test_make_flits_head_tail(self):
+        msg = self.make_message([1], flits=5, mclass=MessageClass.RESPONSE)
+        pkt = Packet(1, msg, 0, frozenset([1]), MessageClass.RESPONSE, 5)
+        flits = pkt.make_flits()
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_is_head_and_tail(self):
+        msg = self.make_message([1])
+        pkt = Packet(1, msg, 0, frozenset([1]), MessageClass.REQUEST, 1)
+        (flit,) = pkt.make_flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_message_completion_tracking(self):
+        msg = self.make_message([1, 2])
+        pkt = Packet(1, msg, 0, frozenset([1, 2]), MessageClass.REQUEST, 1)
+        msg.register_packet(pkt)
+        assert not msg.complete
+        msg.record_delivery(1, pkt, 20)
+        assert not msg.complete
+        msg.record_delivery(2, pkt, 25)
+        assert msg.complete
+        assert msg.latency == 15
+
+    def test_latency_before_completion_raises(self):
+        msg = self.make_message([1])
+        with pytest.raises(ValueError):
+            _ = msg.latency
+
+    def test_fork_splits_destinations(self):
+        msg = self.make_message([1, 2, 3])
+        pkt = Packet(1, msg, 0, frozenset([1, 2, 3]), MessageClass.REQUEST, 1)
+        (flit,) = pkt.make_flits()
+        flit.hops = 2
+        copy = flit.fork([1])
+        assert copy.destinations == frozenset([1])
+        assert copy.hops == 2
+        assert copy.packet is pkt
+        assert copy.stage is None and copy.route is None
+
+    def test_flit_uid_unique(self):
+        msg = self.make_message([1], flits=3, mclass=MessageClass.RESPONSE)
+        pkt = Packet(1, msg, 0, frozenset([1]), MessageClass.RESPONSE, 3)
+        uids = [f.uid for f in pkt.make_flits()]
+        assert len(set(uids)) == 3

@@ -1,0 +1,188 @@
+"""NIC injection/ejection, mesh wiring and simulator harness."""
+
+import pytest
+
+from repro import (
+    NocConfig,
+    Simulator,
+    baseline_network,
+    proposed_network,
+)
+from repro.noc.flit import MessageClass
+from repro.noc.mesh import MeshNetwork
+from repro.noc.metrics import ActivityCounters, aggregate, message_kind
+from repro.noc.ports import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.traffic import BernoulliTraffic, MessageSpec, SyntheticBurst
+from repro.traffic.mix import MIXED_TRAFFIC
+
+
+class TestMeshWiring:
+    def test_edge_ports_unconnected(self):
+        net = MeshNetwork(NocConfig())
+        corner = net.routers[0]  # (0, 0)
+        assert corner.in_ports[NORTH].connected
+        assert corner.in_ports[EAST].connected
+        assert not corner.in_ports[SOUTH].connected
+        assert not corner.in_ports[WEST].connected
+
+    def test_all_local_ports_connected(self):
+        net = MeshNetwork(NocConfig())
+        for router, nic in zip(net.routers, net.nics):
+            assert router.in_ports[LOCAL].connected
+            assert router.out_ports[LOCAL].connected
+            assert nic.link_out is not None and nic.link_in is not None
+
+    def test_interior_router_fully_connected(self):
+        net = MeshNetwork(NocConfig())
+        router = net.routers[5]  # (1, 1)
+        assert all(p.connected for p in router.in_ports)
+        assert all(p.connected for p in router.out_ports)
+
+    def test_link_count(self):
+        net = MeshNetwork(NocConfig())
+        mesh_links = sum(
+            1
+            for r in net.routers
+            for p in (NORTH, EAST, SOUTH, WEST)
+            if r.out_ports[p].connected
+        )
+        # 2 * k * (k-1) bidirectional pairs = 48 directed links for k=4
+        assert mesh_links == 48
+
+    def test_k2_mesh(self):
+        net = MeshNetwork(NocConfig(k=2))
+        assert len(net.routers) == 4
+
+    def test_k8_mesh(self):
+        net = MeshNetwork(NocConfig(k=8))
+        assert len(net.routers) == 64
+        assert all(p.connected for p in net.routers[9 * 8 // 2].in_ports)
+
+
+class TestNic:
+    def test_broadcast_expansion_without_multicast(self):
+        cfg = baseline_network()
+        net = MeshNetwork(cfg)
+        spec = MessageSpec(frozenset(range(16)), MessageClass.REQUEST, 1)
+        message = net.nics[0].submit(spec, cycle=0)
+        assert len(message._pending) == 16
+        assert net.nics[0].backlog() == 16
+
+    def test_no_expansion_with_multicast(self):
+        cfg = proposed_network()
+        net = MeshNetwork(cfg)
+        spec = MessageSpec(frozenset(range(16)), MessageClass.REQUEST, 1)
+        message = net.nics[0].submit(spec, cycle=0)
+        assert len(message._pending) == 16  # 16 deliveries, one packet
+        assert net.nics[0].backlog() == 1
+
+    def test_injection_rate_one_flit_per_cycle(self):
+        cfg = proposed_network()
+        sim = Simulator(cfg)
+        spec = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
+        sim.network.nics[0].source = SyntheticBurst(
+            {(0, 0): [spec] * 5}
+        )
+        sim.run(3)
+        # one decision per cycle at most
+        assert sim.network.nic_stats[0].injections <= 3
+
+    def test_mc_round_robin_interleaves(self):
+        cfg = proposed_network()
+        sim = Simulator(cfg)
+        req = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
+        resp = MessageSpec(frozenset([2]), MessageClass.RESPONSE, 5)
+        sim.network.nics[0].source = SyntheticBurst({(0, 0): [resp, req]})
+        sim.run(30)
+        msgs = sim.network.messages
+        assert all(m.complete for m in msgs)
+        req_msg = next(m for m in msgs if m.mclass == MessageClass.REQUEST)
+        # the request must not wait behind all five response flits
+        assert req_msg.latency <= 8
+
+
+class TestSimulator:
+    def test_determinism_same_seed(self):
+        results = []
+        for _ in range(2):
+            sim = Simulator(
+                proposed_network(),
+                BernoulliTraffic(MIXED_TRAFFIC, 0.05, seed=3),
+            )
+            stats = sim.run_experiment(warmup=200, measure=800, drain=800)
+            results.append((stats.avg_latency, stats.received_flits))
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        outcomes = set()
+        for seed in (1, 2):
+            sim = Simulator(
+                proposed_network(),
+                BernoulliTraffic(MIXED_TRAFFIC, 0.05, seed=seed),
+            )
+            stats = sim.run_experiment(warmup=200, measure=800, drain=800)
+            outcomes.add(stats.received_flits)
+        assert len(outcomes) == 2
+
+    def test_flit_conservation(self):
+        sim = Simulator(
+            proposed_network(), BernoulliTraffic(MIXED_TRAFFIC, 0.04, seed=5)
+        )
+        sim.run(1500)
+        # drain completely
+        for nic in sim.network.nics:
+            nic.source = None
+        guard = 0
+        while not sim.network.idle() and guard < 3000:
+            sim.step()
+            guard += 1
+        assert sim.network.idle()
+        assert all(m.complete for m in sim.network.messages)
+
+    def test_run_experiment_reports_rate(self):
+        sim = Simulator(
+            proposed_network(), BernoulliTraffic(MIXED_TRAFFIC, 0.05, seed=1)
+        )
+        stats = sim.run_experiment(warmup=100, measure=500, drain=500)
+        assert stats.injection_rate == 0.05
+        assert stats.cycles == 500
+        assert stats.throughput_gbps == pytest.approx(
+            stats.throughput_flits_per_cycle * 64
+        )
+
+    def test_named_simulator(self):
+        sim = Simulator(baseline_network(), name="base")
+        assert sim.name == "base"
+        assert Simulator(proposed_network()).name == "proposed"
+        assert Simulator(baseline_network()).name == "baseline"
+
+
+class TestMetrics:
+    def test_counters_arithmetic(self):
+        a = ActivityCounters(buffer_writes=5, ejections=2)
+        b = ActivityCounters(buffer_writes=2, ejections=1)
+        assert (a - b).buffer_writes == 3
+        assert (a + b).ejections == 3
+
+    def test_snapshot_is_independent(self):
+        a = ActivityCounters(buffer_writes=5)
+        snap = a.snapshot()
+        a.buffer_writes = 9
+        assert snap.buffer_writes == 5
+
+    def test_aggregate(self):
+        total = aggregate(
+            [ActivityCounters(ejections=1), ActivityCounters(ejections=2)]
+        )
+        assert total.ejections == 3
+
+    def test_message_kind(self):
+        from repro.noc.flit import Message
+
+        bcast = Message(0, 0, frozenset(range(16)), MessageClass.REQUEST, 1, 0,
+                        is_multicast=True)
+        uni = Message(1, 0, frozenset([2]), MessageClass.REQUEST, 1, 0)
+        resp = Message(2, 0, frozenset([2]), MessageClass.RESPONSE, 5, 0)
+        assert message_kind(bcast) == "broadcast"
+        assert message_kind(uni) == "unicast_request"
+        assert message_kind(resp) == "unicast_response"

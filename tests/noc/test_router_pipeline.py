@@ -1,0 +1,190 @@
+"""Cycle-exact pipeline behaviour of every router design point.
+
+These are the load-bearing tests of the reproduction: the zero-load
+latency of each design must match the analytical pipeline model
+exactly — one cycle per hop plus two NIC links for the bypassed router,
+three (four) cycles per hop for the aggressive (textbook) baseline —
+because the paper's Fig. 5/13 latency floors are precisely these
+numbers.
+"""
+
+import pytest
+
+from repro import (
+    Simulator,
+    baseline_network,
+    proposed_network,
+    strawman_network,
+    textbook_network,
+)
+from repro.noc.flit import MessageClass
+from repro.noc.routing import xy_distance
+from repro.traffic import MessageSpec, SyntheticBurst
+
+
+def run_single_message(cfg, src, dests, mclass=MessageClass.REQUEST, flits=1,
+                       cycles=120, inject_at=2):
+    spec = MessageSpec(frozenset(dests), mclass, flits)
+    sim = Simulator(cfg, SyntheticBurst({(inject_at, src): [spec]}))
+    sim.run(cycles)
+    message = sim.network.messages[0]
+    assert message.complete, "message never delivered"
+    return message.latency, sim
+
+
+class TestProposedZeroLoad:
+    """Bypassed router: exactly H + 2 cycles for single-flit packets."""
+
+    @pytest.mark.parametrize(
+        "src,dst", [(0, 1), (0, 4), (0, 15), (5, 6), (12, 3), (15, 0), (3, 12)]
+    )
+    def test_unicast_is_hops_plus_two(self, src, dst):
+        latency, _ = run_single_message(proposed_network(), src, [dst])
+        assert latency == xy_distance(src, dst, 4) + 2
+
+    def test_self_delivery_two_nic_cycles(self):
+        latency, _ = run_single_message(proposed_network(), 5, [5])
+        assert latency == 2
+
+    @pytest.mark.parametrize("src", [0, 3, 5, 10, 15])
+    def test_broadcast_is_furthest_hops_plus_two(self, src):
+        latency, _ = run_single_message(proposed_network(), src, range(16))
+        furthest = max(xy_distance(src, d, 4) for d in range(16))
+        assert latency == furthest + 2
+
+    def test_every_hop_bypassed_at_zero_load(self):
+        _, sim = run_single_message(proposed_network(), 0, [15])
+        activity = sim.network.total_router_activity()
+        assert activity.bypasses == activity.xbar_input_traversals == 7
+        assert activity.buffer_writes == 0
+
+    def test_five_flit_response_latency(self):
+        # head: H+2; tail follows with one credit-turnaround stall on
+        # the 3-deep response VC (measured contract of the design)
+        latency, _ = run_single_message(
+            proposed_network(), 0, [3], MessageClass.RESPONSE, flits=5
+        )
+        assert latency == xy_distance(0, 3, 4) + 2 + 5
+
+
+class TestStrawmanZeroLoad:
+    """Multicast router without bypassing: 3 cycles per hop."""
+
+    @pytest.mark.parametrize("src,dst", [(0, 1), (0, 15), (5, 10)])
+    def test_unicast_three_cycles_per_hop(self, src, dst):
+        latency, _ = run_single_message(strawman_network(), src, [dst])
+        hops = xy_distance(src, dst, 4)
+        assert latency == 3 * (hops + 1) + 1
+
+    def test_broadcast_single_injection(self):
+        latency, sim = run_single_message(strawman_network(), 0, range(16))
+        assert latency == 3 * (6 + 1) + 1
+        # one injected flit, tree-replicated: 15 links + 16 ejections
+        activity = sim.network.total_router_activity()
+        assert activity.link_traversals == 15
+        assert activity.ejections == 16
+
+    def test_no_lookaheads_without_bypass(self):
+        _, sim = run_single_message(strawman_network(), 0, [15])
+        assert sim.network.total_router_activity().la_sent == 0
+
+
+class TestBaselineZeroLoad:
+    """No multicast: broadcasts become 16 serialised unicasts."""
+
+    @pytest.mark.parametrize("src,dst", [(0, 1), (0, 15)])
+    def test_unicast_same_as_strawman(self, src, dst):
+        latency, _ = run_single_message(baseline_network(), src, [dst])
+        assert latency == 3 * (xy_distance(src, dst, 4) + 1) + 1
+
+    def test_broadcast_serialization_blowup(self):
+        latency, sim = run_single_message(baseline_network(), 0, range(16))
+        # 16 unicast copies injected one per cycle through one NIC
+        assert latency > 3 * 7 + 1 + 14
+        activity = sim.network.total_router_activity()
+        assert activity.ejections == 16
+        # unicast copies do not share links: far more link traversals
+        # than the multicast tree's 15
+        assert activity.link_traversals > 30
+
+    def test_broadcast_expands_to_16_packets(self):
+        _, sim = run_single_message(baseline_network(), 0, range(16))
+        message = sim.network.messages[0]
+        assert len(message._pending) == 0
+        assert sim.network.total_nic_activity().injections == 16
+
+
+class TestTextbookZeroLoad:
+    """Separate ST and LT stages: 4 cycles per hop (Fig. 1)."""
+
+    @pytest.mark.parametrize("src,dst", [(0, 1), (0, 15)])
+    def test_four_cycles_per_hop(self, src, dst):
+        latency, _ = run_single_message(textbook_network(), src, [dst])
+        assert latency == 4 * (xy_distance(src, dst, 4) + 1) + 1
+
+    def test_textbook_cannot_bypass(self):
+        with pytest.raises(ValueError):
+            textbook_network(bypass=True)
+
+
+class TestPipelineCorrectness:
+    def test_flits_of_packet_arrive_in_order(self):
+        _, sim = run_single_message(
+            proposed_network(), 0, [15], MessageClass.RESPONSE, flits=5
+        )
+        assert sim.network.messages[0].complete
+
+    def test_two_concurrent_broadcasts_all_delivered(self):
+        cfg = proposed_network()
+        spec = MessageSpec(frozenset(range(16)), MessageClass.REQUEST, 1)
+        sim = Simulator(
+            cfg, SyntheticBurst({(2, 0): [spec], (2, 15): [spec]})
+        )
+        sim.run(200)
+        assert all(m.complete for m in sim.network.messages)
+        assert sim.network.total_router_activity().ejections == 32
+
+    def test_contention_forces_buffering(self):
+        """Two flits fighting for one output port cannot both bypass.
+
+        Node 0's flit (3 hops via routers 1,2,3) and node 6's flit
+        (2 hops via router 7) both reach router 3's ejection port in
+        the same cycle; exactly one lookahead wins pre-allocation and
+        the loser must buffer.
+        """
+        cfg = proposed_network()
+        spec = MessageSpec(frozenset([3]), MessageClass.REQUEST, 1)
+        sim = Simulator(cfg, SyntheticBurst({(2, 0): [spec], (3, 6): [spec]}))
+        sim.run(100)
+        assert all(m.complete for m in sim.network.messages)
+        activity = sim.network.total_router_activity()
+        assert activity.buffer_writes >= 1  # someone lost pre-allocation
+
+    def test_network_drains_clean(self):
+        cfg = proposed_network()
+        spec = MessageSpec(frozenset(range(16)), MessageClass.REQUEST, 1)
+        sim = Simulator(cfg, SyntheticBurst({(2, 5): [spec]}))
+        sim.run(120)
+        assert sim.network.idle()
+        for router in sim.network.routers:
+            for op in router.out_ports:
+                assert op.tracker.all_free()
+
+    def test_credits_conserved_after_drain(self):
+        cfg = baseline_network()
+        specs = {
+            (2, n): [MessageSpec(frozenset([(n + 7) % 16]), MessageClass.REQUEST, 1)]
+            for n in range(16)
+        }
+        sim = Simulator(cfg, SyntheticBurst(specs))
+        sim.run(200)
+        assert sim.network.idle()
+        for nic in sim.network.nics:
+            assert nic.tracker.all_free()
+
+    def test_multiflit_multicast_rejected(self):
+        cfg = proposed_network()
+        with pytest.raises(NotImplementedError):
+            run_single_message(
+                cfg, 0, range(16), MessageClass.RESPONSE, flits=5
+            )

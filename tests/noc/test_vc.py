@@ -1,0 +1,191 @@
+"""Input VC buffers and output-side credit trackers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.config import VCSpec, proposed_vc_config
+from repro.noc.flit import Flit, Message, MessageClass, Packet
+from repro.noc.vc import CreditMsg, InputVC, OutputVCTracker
+
+
+def make_flit(pid=1, seq=0, head=True, tail=True, mclass=MessageClass.REQUEST):
+    msg = Message(0, 0, frozenset([1]), mclass, 1, 0)
+    pkt = Packet(pid, msg, 0, frozenset([1]), mclass, max(seq + 1, 1))
+    return Flit(pkt, seq, head, tail, frozenset([1]))
+
+
+class TestInputVC:
+    def test_write_and_occupancy(self):
+        vc = InputVC(0, VCSpec(MessageClass.REQUEST, 2))
+        vc.write(make_flit())
+        assert vc.occupancy == 1
+
+    def test_overflow_detected(self):
+        vc = InputVC(0, VCSpec(MessageClass.REQUEST, 1))
+        vc.write(make_flit())
+        with pytest.raises(RuntimeError):
+            vc.write(make_flit())
+
+    def test_write_resets_stage(self):
+        vc = InputVC(0, VCSpec(MessageClass.REQUEST, 2))
+        f = make_flit()
+        f.stage = "S2"
+        vc.write(f)
+        assert f.stage is None
+
+    def test_oldest_unrequested_order(self):
+        vc = InputVC(0, VCSpec(MessageClass.RESPONSE, 3))
+        f1, f2 = make_flit(seq=0, tail=False), make_flit(seq=1, head=False)
+        vc.write(f1)
+        vc.write(f2)
+        assert vc.oldest_unrequested() is f1
+
+    def test_s2_flit_blocks_msa1(self):
+        vc = InputVC(0, VCSpec(MessageClass.RESPONSE, 3))
+        f1, f2 = make_flit(seq=0, tail=False), make_flit(seq=1, head=False)
+        vc.write(f1)
+        vc.write(f2)
+        f1.stage = "S2"
+        assert vc.oldest_unrequested() is None
+        assert vc.s2_flit() is f1
+
+    def test_granted_flit_skipped(self):
+        vc = InputVC(0, VCSpec(MessageClass.RESPONSE, 3))
+        f1, f2 = make_flit(seq=0, tail=False), make_flit(seq=1, head=False)
+        vc.write(f1)
+        vc.write(f2)
+        f1.stage = "GRANTED"
+        assert vc.oldest_unrequested() is f2
+
+    def test_pop_enforces_fifo(self):
+        vc = InputVC(0, VCSpec(MessageClass.RESPONSE, 3))
+        f1, f2 = make_flit(seq=0, tail=False), make_flit(seq=1, head=False)
+        vc.write(f1)
+        vc.write(f2)
+        with pytest.raises(RuntimeError):
+            vc.pop(f2)
+        vc.pop(f1)
+        vc.pop(f2)
+        assert vc.occupancy == 0
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            VCSpec(MessageClass.REQUEST, 0)
+
+
+class TestOutputVCTracker:
+    def tracker(self):
+        return OutputVCTracker(proposed_vc_config())
+
+    def test_initially_all_free(self):
+        assert self.tracker().all_free()
+
+    def test_alloc_head_takes_free_vc(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.REQUEST, 42)
+        assert vc in (0, 1, 2, 3)
+        assert t.owner[vc] == 42
+        assert t.credits[vc] == 0  # 1-deep request VC, slot consumed
+
+    def test_alloc_exhaustion(self):
+        t = self.tracker()
+        for pid in range(4):
+            assert t.alloc_head(MessageClass.REQUEST, pid) is not None
+        assert t.alloc_head(MessageClass.REQUEST, 99) is None
+        assert t.peek_free(MessageClass.REQUEST) is None
+
+    def test_response_class_independent(self):
+        t = self.tracker()
+        for pid in range(4):
+            t.alloc_head(MessageClass.REQUEST, pid)
+        assert t.alloc_head(MessageClass.RESPONSE, 50) is not None
+
+    def test_body_credit_flow(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.RESPONSE, 7)
+        assert t.credits[vc] == 2
+        assert t.body_vc(7) == vc
+        t.consume_body(7)
+        t.consume_body(7)
+        assert t.body_vc(7) is None  # out of credits
+
+    def test_credit_return_restores_body_credit(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.RESPONSE, 7)
+        t.consume_body(7)
+        t.consume_body(7)
+        t.credit_return(CreditMsg(vc, tail=False))
+        assert t.body_vc(7) == vc
+
+    def test_tail_credit_frees_vc(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.REQUEST, 7)
+        t.credit_return(CreditMsg(vc, tail=True))
+        assert t.owner[vc] is None
+        assert t.all_free()
+
+    def test_tail_free_requires_all_credits_back(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.RESPONSE, 7)
+        t.consume_body(7)
+        with pytest.raises(RuntimeError):
+            t.credit_return(CreditMsg(vc, tail=True))
+
+    def test_freed_vc_is_reallocable(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.REQUEST, 1)
+        t.credit_return(CreditMsg(vc, tail=True))
+        vc2 = t.alloc_head(MessageClass.REQUEST, 2)
+        assert t.owner[vc2] == 2
+
+    def test_credit_overflow_detected(self):
+        t = self.tracker()
+        with pytest.raises(RuntimeError):
+            t.credit_return(CreditMsg(0, tail=False))
+
+    def test_tail_credit_unowned_vc_detected(self):
+        t = self.tracker()
+        vc = t.alloc_head(MessageClass.REQUEST, 1)
+        t.credit_return(CreditMsg(vc, tail=True))
+        t.alloc_head(MessageClass.REQUEST, 2)  # different vc (FIFO free queue)
+        with pytest.raises(RuntimeError):
+            t.credit_return(CreditMsg(vc, tail=True))
+
+    def test_free_queue_is_fifo(self):
+        t = self.tracker()
+        first = t.alloc_head(MessageClass.REQUEST, 1)
+        t.credit_return(CreditMsg(first, tail=True))
+        # freed VC goes to the back of the queue
+        order = [t.alloc_head(MessageClass.REQUEST, 10 + i) for i in range(4)]
+        assert order[-1] == first
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=60))
+    def test_random_alloc_release_never_corrupts(self, ops):
+        """Random alloc/consume/release sequences keep invariants."""
+        t = OutputVCTracker(proposed_vc_config())
+        live = {}  # pid -> vc
+        next_pid = 0
+        for op in ops:
+            if op == 0:  # allocate
+                vc = t.alloc_head(MessageClass.RESPONSE, next_pid)
+                if vc is not None:
+                    live[next_pid] = [vc, 1]  # vc, outstanding slots
+                    next_pid += 1
+            elif op == 1 and live:  # consume a body credit
+                pid = next(iter(live))
+                if t.body_vc(pid) is not None:
+                    t.consume_body(pid)
+                    live[pid][1] += 1
+            elif op == 2 and live:  # retire the packet
+                pid, (vc, outstanding) = next(iter(live.items()))
+                for _ in range(outstanding - 1):
+                    t.credit_return(CreditMsg(vc, tail=False))
+                t.credit_return(CreditMsg(vc, tail=True))
+                del live[pid]
+            for v, spec in enumerate(t.specs):
+                assert 0 <= t.credits[v] <= spec.depth
+        for pid, (vc, outstanding) in list(live.items()):
+            for _ in range(outstanding - 1):
+                t.credit_return(CreditMsg(vc, tail=False))
+            t.credit_return(CreditMsg(vc, tail=True))
+        assert t.all_free()

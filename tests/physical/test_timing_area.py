@@ -1,0 +1,132 @@
+"""Critical-path (Table 3) and area (Table 4) models."""
+
+import pytest
+
+from repro.physical.area import AreaModel
+from repro.physical.critical_path import CriticalPathAnalysis
+from repro.physical.gates import STD_GATES, Gate, GateChain
+
+
+class TestGates:
+    def test_logical_effort_delay(self):
+        inv = STD_GATES["INV"]
+        # d = tau * (p + g*h) = 3.5 * (1 + 1*4)
+        assert inv.delay(4, 3.5) == pytest.approx(17.5)
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            STD_GATES["NAND2"].delay(0, 3.5)
+
+    def test_chain_delay_is_sum(self):
+        chain = GateChain(
+            "t", [(STD_GATES["INV"], 2), (STD_GATES["NAND2"], 3)], 3.5
+        )
+        expected = STD_GATES["INV"].delay(2, 3.5) + STD_GATES["NAND2"].delay(
+            3, 3.5
+        )
+        assert chain.delay_ps() == pytest.approx(expected)
+
+    def test_chain_extension(self):
+        chain = GateChain("t", [(STD_GATES["INV"], 2)], 3.5)
+        longer = chain.extended("t2", [(STD_GATES["INV"], 2)])
+        assert len(longer) == 2
+        assert longer.delay_ps() == pytest.approx(2 * chain.delay_ps())
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            GateChain("t", [], 3.5)
+
+    def test_stage_delays_named(self):
+        chain = GateChain("t", [(STD_GATES["MUX2"], 3)], 3.5)
+        (name_delay,) = chain.stage_delays()
+        assert name_delay[0] == "MUX2"
+
+    def test_higher_effort_gates_slower(self):
+        assert Gate("x", 2.0, 2.0).delay(4, 3.5) > Gate("y", 1.0, 2.0).delay(
+            4, 3.5
+        )
+
+
+class TestTable3:
+    """Paper: 549/593 pre-layout, 658/793 post-layout, 961 measured."""
+
+    def setup_method(self):
+        self.report = CriticalPathAnalysis().report()
+
+    def test_pre_layout_baseline(self):
+        assert self.report.pre_layout_baseline_ps == pytest.approx(549, rel=0.02)
+
+    def test_pre_layout_bypassed(self):
+        assert self.report.pre_layout_bypassed_ps == pytest.approx(593, rel=0.02)
+
+    def test_pre_layout_overhead_8pct(self):
+        assert self.report.pre_layout_overhead == pytest.approx(1.08, abs=0.015)
+
+    def test_post_layout_baseline(self):
+        assert self.report.post_layout_baseline_ps == pytest.approx(658, rel=0.02)
+
+    def test_post_layout_bypassed(self):
+        assert self.report.post_layout_bypassed_ps == pytest.approx(793, rel=0.02)
+
+    def test_post_layout_overhead_21pct(self):
+        assert self.report.post_layout_overhead == pytest.approx(1.21, abs=0.02)
+
+    def test_measured_961ps(self):
+        assert self.report.measured_bypassed_ps == pytest.approx(961, rel=0.02)
+
+    def test_measured_fmax_104ghz(self):
+        assert self.report.measured_fmax_ghz == pytest.approx(1.04, abs=0.02)
+
+    def test_layout_only_adds_delay(self):
+        assert self.report.post_layout_baseline_ps > self.report.pre_layout_baseline_ps
+        assert self.report.post_layout_bypassed_ps > self.report.pre_layout_bypassed_ps
+
+    def test_silicon_slower_than_post_layout(self):
+        assert self.report.measured_bypassed_ps > self.report.post_layout_bypassed_ps
+
+    def test_overhead_masked_by_slower_core(self):
+        """Section 4.2: a 1 GHz core hides the router timing overhead."""
+        analysis = CriticalPathAnalysis()
+        assert analysis.masked_by_core(core_frequency_ghz=1.0)
+        assert not analysis.masked_by_core(core_frequency_ghz=2.0)
+
+
+class TestTable4:
+    """Paper: crossbars 26,840 vs 83,200 um^2 (3.1x); routers 227,230
+    vs 318,600 um^2 (1.4x)."""
+
+    def setup_method(self):
+        self.area = AreaModel()
+
+    def test_full_swing_crossbar(self):
+        assert self.area.full_swing_crossbar_um2 == pytest.approx(26_840, rel=0.01)
+
+    def test_low_swing_crossbar(self):
+        assert self.area.low_swing_crossbar_um2 == pytest.approx(83_200, rel=0.01)
+
+    def test_crossbar_overhead_3_1x(self):
+        assert self.area.crossbar_overhead == pytest.approx(3.1, abs=0.05)
+
+    def test_full_swing_router(self):
+        assert self.area.full_swing_router_um2 == pytest.approx(227_230, rel=0.01)
+
+    def test_low_swing_router(self):
+        assert self.area.low_swing_router_um2 == pytest.approx(318_600, rel=0.01)
+
+    def test_router_overhead_1_4x(self):
+        assert self.area.router_overhead == pytest.approx(1.4, abs=0.02)
+
+    def test_bypass_overhead_5pct(self):
+        assert self.area.bypass_overhead_fraction == pytest.approx(0.05, abs=0.005)
+
+    def test_overhead_dilutes_up_the_hierarchy(self):
+        """3.1x crossbar -> 1.4x router -> ~1.0x tile (Section 4.3)."""
+        assert (
+            self.area.tile_overhead()
+            < self.area.router_overhead
+            < self.area.crossbar_overhead
+        )
+        assert self.area.tile_overhead() < 1.1
+
+    def test_buffers_dominate_router(self):
+        assert self.area.buffer_array_um2 > self.area.full_swing_crossbar_um2

@@ -1,0 +1,164 @@
+"""Power meters and estimator models on synthetic activity."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.metrics import ActivityCounters
+from repro.power.energy_model import CalibratedEnergyModel
+from repro.power.meter import PowerBreakdown, PowerMeter
+from repro.power.orion import OrionPowerModel
+from repro.power.postlayout import PostLayoutPowerModel
+
+
+def busy_activity(cycles=1000):
+    """A plausible per-window activity vector for a loaded network."""
+    return ActivityCounters(
+        buffer_writes=4000,
+        buffer_reads=4000,
+        xbar_input_traversals=10_000,
+        xbar_output_traversals=19_000,
+        link_traversals=9_000,
+        ejections=10_000,
+        bypasses=6_000,
+        msa1_grants=4_000,
+        msa2_grants=10_000,
+        la_sent=9_000,
+    )
+
+
+class TestPowerBreakdown:
+    def test_total_is_sum(self):
+        bd = PowerBreakdown(10, 20, 30, 40, 5)
+        assert bd.total_mw == 105
+        assert bd.dynamic_mw == 100
+        assert bd.logic_and_buffers_mw == 50
+
+    def test_reduction(self):
+        a = PowerBreakdown(10, 20, 30, 40, 0)
+        b = PowerBreakdown(5, 10, 15, 20, 0)
+        assert b.reduction_vs(a) == pytest.approx(0.5)
+
+    def test_as_dict_round_trip(self):
+        bd = PowerBreakdown(1, 2, 3, 4, 5)
+        d = bd.as_dict()
+        assert d["total_mw"] == 15
+
+
+class TestPowerMeter:
+    def test_idle_network_burns_floor_only(self):
+        meter = PowerMeter(low_swing=True)
+        bd = meter.evaluate(ActivityCounters(), 1000)
+        assert bd.datapath_mw == 0.0
+        m = meter.model
+        assert bd.clock_mw == pytest.approx(16 * m.clock_pj_per_cycle)
+        assert bd.leakage_mw == pytest.approx(76.7)
+
+    def test_low_swing_cuts_datapath_only(self):
+        act = busy_activity()
+        ls = PowerMeter(low_swing=True).evaluate(act, 1000)
+        fs = PowerMeter(low_swing=False).evaluate(act, 1000)
+        assert ls.datapath_mw < fs.datapath_mw
+        assert ls.buffers_mw == fs.buffers_mw
+        assert ls.logic_mw == fs.logic_mw
+        assert ls.clock_mw == fs.clock_mw
+
+    def test_power_scales_with_frequency(self):
+        act = busy_activity()
+        at1 = PowerMeter(frequency_ghz=1.0).evaluate(act, 1000)
+        at2 = PowerMeter(frequency_ghz=2.0).evaluate(act, 1000)
+        assert at2.dynamic_mw == pytest.approx(2 * at1.dynamic_mw)
+        assert at2.leakage_mw == at1.leakage_mw
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            PowerMeter().evaluate(ActivityCounters(), 0)
+
+    def test_floor_is_clock_plus_datapath(self):
+        meter = PowerMeter(low_swing=False)
+        act = busy_activity()
+        bd = meter.evaluate(act, 1000)
+        assert meter.theoretical_floor_mw(act, 1000) == pytest.approx(
+            bd.clock_mw + bd.datapath_mw
+        )
+
+    def test_leakage_is_chip_anchor(self):
+        model = CalibratedEnergyModel()
+        assert 16 * model.leakage_mw_per_router == pytest.approx(76.7)
+
+    def test_datapath_event_lookup(self):
+        model = CalibratedEnergyModel()
+        assert model.datapath_event_pj("link", True) == model.link_ls_pj
+        assert model.datapath_event_pj("link", False) == model.link_fs_pj
+        with pytest.raises(ValueError):
+            model.datapath_event_pj("nonsense", True)
+
+    def test_scaled_model(self):
+        model = CalibratedEnergyModel()
+        doubled = model.scaled(2.0)
+        assert doubled.buffer_write_pj == pytest.approx(2 * model.buffer_write_pj)
+
+    def test_low_swing_event_always_cheaper(self):
+        model = CalibratedEnergyModel()
+        for event in ("xbar_input", "xbar_output", "link", "ejection"):
+            assert model.datapath_event_pj(event, True) < model.datapath_event_pj(
+                event, False
+            )
+
+
+class TestOrion:
+    def test_substantial_overestimate(self):
+        """Section 4.4: ORION lands ~5x above silicon."""
+        act = busy_activity()
+        measured = PowerMeter(low_swing=False).evaluate(act, 1000)
+        orion = OrionPowerModel(NocConfig(multicast=False, bypass=False)).evaluate(
+            act, 1000
+        )
+        assert 3.5 < orion.total_mw / measured.total_mw < 7.0
+
+    def test_component_energies_positive(self):
+        model = OrionPowerModel(NocConfig())
+        assert model.buffer_access_energy_pj() > 0
+        assert model.xbar_traversal_energy_pj() > 0
+        assert model.link_traversal_energy_pj() > model.xbar_traversal_energy_pj()
+        assert model.arbitration_energy_pj() > 0
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            OrionPowerModel(NocConfig()).evaluate(ActivityCounters(), 0)
+
+    def test_buffer_energy_grows_with_depth(self):
+        from repro.noc.config import VCSpec
+        from repro.noc.flit import MessageClass
+
+        deep = NocConfig(
+            vcs=(
+                VCSpec(MessageClass.REQUEST, 8),
+                VCSpec(MessageClass.RESPONSE, 8),
+            )
+        )
+        shallow = NocConfig()
+        assert (
+            OrionPowerModel(deep).buffer_access_energy_pj()
+            > OrionPowerModel(shallow).buffer_access_energy_pj()
+        )
+
+
+class TestPostLayout:
+    def test_close_to_measured(self):
+        """Section 4.4: post-layout lands within ~15% of silicon."""
+        act = busy_activity()
+        measured = PowerMeter(low_swing=True).evaluate(act, 1000)
+        pl = PostLayoutPowerModel(low_swing=True).evaluate(act, 1000)
+        assert 0.9 < pl.total_mw / measured.total_mw < 1.2
+
+    def test_underestimates_buffers_overestimates_clock(self):
+        act = busy_activity()
+        measured = PowerMeter(low_swing=True).evaluate(act, 1000)
+        pl = PostLayoutPowerModel(low_swing=True).evaluate(act, 1000)
+        assert pl.buffers_mw < measured.buffers_mw
+        assert pl.logic_mw < measured.logic_mw
+        assert pl.clock_mw > measured.clock_mw
+        assert pl.datapath_mw > measured.datapath_mw
+
+    def test_simulation_cost_documented(self):
+        assert PostLayoutPowerModel.SIMULATION_DAYS >= 1

@@ -1,0 +1,59 @@
+"""Public API surface: the imports the README promises."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_presets_distinct():
+    base = repro.baseline_network()
+    straw = repro.strawman_network()
+    prop = repro.proposed_network()
+    text = repro.textbook_network()
+    assert not base.multicast and not base.bypass and not base.separate_st_lt
+    assert straw.multicast and not straw.bypass
+    assert prop.multicast and prop.bypass
+    assert text.separate_st_lt and not text.bypass
+    # all share the fabricated buffer provisioning
+    assert base.vcs == straw.vcs == prop.vcs == text.vcs
+
+
+def test_preset_overrides():
+    cfg = repro.proposed_network(k=8, flit_bits=128)
+    assert cfg.k == 8 and cfg.flit_bits == 128 and cfg.bypass
+
+
+def test_subpackage_imports():
+    from repro.analysis import MeshLimits
+    from repro.circuits import TriStateRSD
+    from repro.harness import experiments, format_table, run_sweep
+    from repro.noc import MeshNetwork, NocConfig, Simulator
+    from repro.power import OrionPowerModel, PowerMeter
+    from repro.physical import AreaModel, CriticalPathAnalysis
+    from repro.traffic import BernoulliTraffic, MIXED_TRAFFIC
+
+    assert MeshLimits(4).k == 4
+    assert NocConfig().num_nodes == 16
+
+
+def test_quickstart_snippet_runs():
+    """The README quickstart, verbatim semantics, tiny cycle counts."""
+    from repro import proposed_network, Simulator
+    from repro.traffic import BernoulliTraffic, MIXED_TRAFFIC
+    from repro.power import PowerMeter
+
+    sim = Simulator(
+        proposed_network(),
+        BernoulliTraffic(MIXED_TRAFFIC, injection_rate=0.08, seed=42),
+    )
+    stats = sim.run_experiment(warmup=100, measure=400, drain=500)
+    assert stats.throughput_gbps > 0
+    power = PowerMeter(low_swing=True).evaluate(sim.activity(), sim.cycle)
+    assert power.total_mw > power.leakage_mw

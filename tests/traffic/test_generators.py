@@ -1,0 +1,161 @@
+"""Traffic mixes and Bernoulli injection processes."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import MessageClass
+from repro.traffic.generators import BernoulliTraffic, SyntheticBurst
+from repro.traffic.mix import (
+    BROADCAST_ONLY,
+    MIXED_TRAFFIC,
+    UNIFORM_UNICAST,
+    TrafficComponent,
+    TrafficMix,
+)
+from repro.traffic.spec import MessageSpec
+
+
+class TestTrafficMix:
+    def test_mixed_composition(self):
+        weights = {c.name: c.weight for c in MIXED_TRAFFIC.components}
+        assert weights == {
+            "broadcast_request": 0.5,
+            "unicast_request": 0.25,
+            "unicast_response": 0.25,
+        }
+
+    def test_mixed_mean_flits(self):
+        # 0.5*1 + 0.25*1 + 0.25*5 = 2 flits per message
+        assert MIXED_TRAFFIC.mean_flits_per_message == 2.0
+
+    def test_mixed_ejections_per_flit(self):
+        # (0.5*16 + 0.25*1 + 0.25*5) / 2 = 4.75
+        assert MIXED_TRAFFIC.mean_ejections_per_flit(16) == pytest.approx(4.75)
+
+    def test_broadcast_only_saturation_rate(self):
+        # ejection-limited: R = 1/k^2 (Table 1)
+        assert BROADCAST_ONLY.saturation_injection_rate(16) == pytest.approx(
+            1 / 16
+        )
+
+    def test_unicast_saturation_rate(self):
+        assert UNIFORM_UNICAST.saturation_injection_rate(16) == 1.0
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TrafficMix(
+                "bad",
+                (
+                    TrafficComponent(
+                        "a", 0.6, MessageClass.REQUEST, 1, broadcast=False
+                    ),
+                ),
+            )
+
+    def test_multiflit_broadcast_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficComponent("bad", 1.0, MessageClass.REQUEST, 5, broadcast=True)
+
+    def test_cumulative_weights_monotone(self):
+        cum = [w for w, _ in MIXED_TRAFFIC.cumulative_weights()]
+        assert cum == sorted(cum)
+        assert cum[-1] == pytest.approx(1.0)
+
+
+class TestBernoulliTraffic:
+    def bound(self, rate, seed=1, identical=False, mix=MIXED_TRAFFIC):
+        traffic = BernoulliTraffic(
+            mix, rate, seed=seed, identical_generators=identical
+        )
+        traffic.bind(NocConfig())
+        return traffic
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliTraffic(MIXED_TRAFFIC, -0.1)
+        with pytest.raises(ValueError):
+            BernoulliTraffic(MIXED_TRAFFIC, 1.5)
+
+    def test_use_before_bind_rejected(self):
+        traffic = BernoulliTraffic(MIXED_TRAFFIC, 0.1)
+        with pytest.raises(RuntimeError):
+            traffic.generate(0, 0)
+
+    def test_packet_rate(self):
+        assert self.bound(0.1).packet_rate == pytest.approx(0.05)
+
+    def test_empirical_injection_rate(self):
+        traffic = self.bound(0.2, seed=5)
+        flits = 0
+        cycles = 4000
+        for t in range(cycles):
+            for spec in traffic.generate(t, 3):
+                flits += spec.num_flits
+        rate = flits / cycles
+        assert 0.15 < rate < 0.25
+
+    def test_mix_fractions_respected(self):
+        traffic = self.bound(0.5, seed=9)
+        kinds = {"broadcast": 0, "request": 0, "response": 0}
+        for t in range(8000):
+            for spec in traffic.generate(t, 0):
+                if spec.is_multicast:
+                    kinds["broadcast"] += 1
+                elif spec.num_flits == 5:
+                    kinds["response"] += 1
+                else:
+                    kinds["request"] += 1
+        total = sum(kinds.values())
+        assert kinds["broadcast"] / total == pytest.approx(0.5, abs=0.07)
+        assert kinds["response"] / total == pytest.approx(0.25, abs=0.06)
+
+    def test_unicast_destinations_exclude_self(self):
+        traffic = self.bound(0.8, mix=UNIFORM_UNICAST, seed=4)
+        for t in range(2000):
+            for spec in traffic.generate(t, 6):
+                assert spec.destinations != frozenset([6])
+
+    def test_unicast_destinations_cover_mesh(self):
+        traffic = self.bound(0.8, mix=UNIFORM_UNICAST, seed=4)
+        seen = set()
+        for t in range(4000):
+            for spec in traffic.generate(t, 0):
+                seen |= spec.destinations
+        assert seen == set(range(1, 16))
+
+    def test_broadcast_targets_all_nodes(self):
+        traffic = self.bound(0.5, mix=BROADCAST_ONLY, seed=2)
+        for t in range(100):
+            for spec in traffic.generate(t, 5):
+                assert spec.destinations == frozenset(range(16))
+
+    def test_identical_generators_synchronise_nodes(self):
+        traffic = self.bound(0.3, seed=3, identical=True)
+        for t in range(500):
+            outs = [bool(traffic.generate(t, n)) for n in range(16)]
+            assert len(set(outs)) == 1  # all nodes decide identically
+
+    def test_decorrelated_generators_differ(self):
+        traffic = self.bound(0.3, seed=3)
+        differing = 0
+        for t in range(500):
+            outs = [bool(traffic.generate(t, n)) for n in range(16)]
+            if len(set(outs)) > 1:
+                differing += 1
+        assert differing > 0
+
+
+class TestSyntheticBurst:
+    def test_scripted_delivery(self):
+        spec = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
+        burst = SyntheticBurst({(3, 0): [spec]})
+        burst.bind(NocConfig())
+        assert burst.generate(3, 0) == [spec]
+        assert burst.generate(3, 1) == []
+        assert burst.generate(4, 0) == []
+
+    def test_message_spec_validation(self):
+        with pytest.raises(ValueError):
+            MessageSpec(frozenset(), MessageClass.REQUEST, 1)
+        with pytest.raises(ValueError):
+            MessageSpec(frozenset([1]), MessageClass.REQUEST, 0)
