@@ -6,6 +6,15 @@ paper's mixed coherence traffic at a moderate load, and prints
 latency, throughput, bypass rate and a power breakdown.
 
 Run:  python examples/quickstart.py
+
+The same sweeps are available from the command line via the experiment
+engine (parallel backends + persistent result cache), e.g.:
+
+    python -m repro sweep --config proposed --mix mixed --rates 0.08
+    python -m repro figure fig5 --backend process
+    python -m repro cache stats
+
+See README.md for the full CLI reference.
 """
 
 from repro import Simulator, baseline_network, proposed_network

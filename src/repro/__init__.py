@@ -13,6 +13,8 @@ Quickstart::
 Package map:
 
 - :mod:`repro.noc` — cycle-accurate mesh/router/NIC substrate
+- :mod:`repro.engine` — parallel experiment engine with a persistent
+  result cache (CLI: ``python -m repro``)
 - :mod:`repro.core` — the paper's design points (baseline/strawman/proposed)
 - :mod:`repro.traffic` — Bernoulli/PRBS traffic and the paper's mixes
 - :mod:`repro.analysis` — theoretical limits and prototype comparisons
@@ -28,12 +30,16 @@ from repro.core.presets import (
     strawman_network,
     textbook_network,
 )
+from repro.engine import Executor, JobSpec, ResultCache
 from repro.noc import NocConfig, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Executor",
+    "JobSpec",
     "NocConfig",
+    "ResultCache",
     "Simulator",
     "__version__",
     "baseline_network",

@@ -1,0 +1,103 @@
+"""Persistent, content-addressed result cache.
+
+Each entry is one JSON file under the cache root, named by the SHA-256
+of the :class:`~repro.engine.jobspec.JobSpec`'s canonical encoding, and
+stores both the job and its :class:`~repro.noc.metrics.WindowStats`.
+Re-running any benchmark, example or CLI sweep therefore skips every
+operating point that has already been computed with identical
+parameters.  Corrupt or stale entries are treated as misses and
+overwritten on the next store, so the cache can always be deleted (or
+``repro cache clear``-ed) with no loss beyond recomputation time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.noc.metrics import WindowStats
+
+#: Bump when the cache entry layout or WindowStats semantics change;
+#: entries with a different version are ignored.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """JSON-file store mapping JobSpec content hashes to WindowStats."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, job):
+        return self.root / f"{job.cache_key}.json"
+
+    def get(self, job):
+        """The cached WindowStats for ``job``, or None on a miss."""
+        path = self.path_for(job)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        if entry.get("job") != job.to_dict():  # hash collision or drift
+            return None
+        try:
+            return WindowStats.from_dict(entry["stats"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, job, stats):
+        """Store ``stats`` for ``job`` (atomically, last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": job.cache_key,
+            "job": job.to_dict(),
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self.path_for(job))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def stats(self):
+        """Occupancy summary: entry count and total size in bytes."""
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+    def clear(self):
+        """Delete every cached result; returns the number removed.
+
+        Also sweeps up ``*.tmp`` files orphaned by an interrupted
+        :meth:`put` (e.g. a SIGKILL between write and rename).
+        """
+        removed = 0
+        for path in self._entries():
+            path.unlink()
+            removed += 1
+        if self.root.is_dir():
+            for orphan in self.root.glob("*.tmp"):
+                orphan.unlink()
+        return removed

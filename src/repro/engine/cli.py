@@ -1,0 +1,340 @@
+"""The ``repro`` command line (also reachable as ``python -m repro``).
+
+Three subcommands drive the experiment engine:
+
+* ``repro sweep``  — run a latency-throughput sweep for any preset
+  config and traffic mix, on the serial or process-pool backend, with
+  results cached under ``.repro_cache/``;
+* ``repro figure`` — regenerate a paper exhibit via the drivers in
+  :mod:`repro.harness.experiments` (fig5/fig13 route through the
+  engine and benefit from caching and parallelism);
+* ``repro cache``  — inspect (``stats``) or empty (``clear``) the
+  persistent result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pprint import pformat
+
+from repro.core.presets import (
+    baseline_network,
+    proposed_network,
+    strawman_network,
+    textbook_network,
+)
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.engine.executor import Executor
+from repro.engine.jobspec import (
+    DEFAULT_DRAIN,
+    DEFAULT_MEASURE,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+)
+from repro.harness import experiments
+from repro.harness.sweep import default_rates, run_sweep
+from repro.harness.tables import format_series
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
+
+CONFIGS = {
+    "proposed": proposed_network,
+    "baseline": baseline_network,
+    "strawman": strawman_network,
+    "textbook": textbook_network,
+}
+
+MIXES = {
+    "mixed": MIXED_TRAFFIC,
+    "broadcast_only": BROADCAST_ONLY,
+    "uniform_unicast": UNIFORM_UNICAST,
+}
+
+#: Exhibits whose drivers accept engine keywords (rates/cycles/executor).
+SWEEP_FIGURES = {
+    "fig5": experiments.fig5_mixed_traffic,
+    "fig13": experiments.fig13_broadcast_traffic,
+}
+
+#: Closed-form or single-run exhibits; regenerated as-is.
+PLAIN_FIGURES = {
+    "fig6": experiments.fig6_power_reduction,
+    "fig7": experiments.fig7_lowswing_energy,
+    "fig8": experiments.fig8_power_models,
+    "fig10": experiments.fig10_reliability,
+    "fig11": experiments.fig11_multicast_power,
+    "fig12": experiments.fig12_eye_margin,
+    "table1": experiments.table1_limits,
+    "table2": experiments.table2_prototypes,
+    "table3": experiments.table3_critical_path,
+    "table4": experiments.table4_area,
+}
+
+
+def _positive_int(text):
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _parse_rates(text):
+    try:
+        rates = [float(r) for r in text.split(",") if r.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"rates must be comma-separated floats, got {text!r}"
+        ) from None
+    if not rates:
+        raise argparse.ArgumentTypeError("at least one rate is required")
+    return rates
+
+
+def _add_engine_args(parser):
+    group = parser.add_argument_group("engine")
+    group.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="execution backend (default: serial)",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size (default: all cores)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point; do not read or write the cache",
+    )
+
+
+def _add_cycle_args(parser, defaults=True):
+    group = parser.add_argument_group("measurement window")
+    kw = dict(type=int, metavar="CYCLES")
+    if defaults:
+        group.add_argument("--warmup", default=DEFAULT_WARMUP, **kw)
+        group.add_argument("--measure", default=DEFAULT_MEASURE, **kw)
+        group.add_argument("--drain", default=DEFAULT_DRAIN, **kw)
+    else:  # None = keep the driver's paper-methodology defaults
+        group.add_argument("--warmup", default=None, **kw)
+        group.add_argument("--measure", default=None, **kw)
+        group.add_argument("--drain", default=None, **kw)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def _make_executor(args):
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Executor(backend=args.backend, workers=args.workers, cache=cache)
+
+
+def _print_engine_summary(executor):
+    print(
+        f"[engine] backend={executor.backend.name} "
+        f"executed={executor.executed} "
+        f"cache_hits={executor.cache_hits} "
+        f"cache_misses={executor.cache_misses}"
+    )
+
+
+def _print_sweep(points, title):
+    latency = {
+        name: [(p.injection_rate, p.avg_latency) for p in series]
+        for name, series in points.items()
+    }
+    throughput = {
+        name: [(p.injection_rate, p.throughput_gbps) for p in series]
+        for name, series in points.items()
+    }
+    print(format_series(latency, "R (flits/node/cyc)", "latency (cyc)", title))
+    print()
+    print(format_series(throughput, "R", "Gb/s", title=f"{title}: delivered"))
+
+
+# -------------------------------------------------------------- subcommands
+
+
+def cmd_sweep(args):
+    config = CONFIGS[args.config]()
+    mix = MIXES[args.mix]
+    rates = args.rates or default_rates(
+        mix, config.num_nodes, points=args.points, headroom=args.headroom
+    )
+    executor = _make_executor(args)
+    points = run_sweep(
+        config,
+        mix,
+        rates,
+        name=args.config,
+        executor=executor,
+        seed=args.seed,
+        warmup=args.warmup,
+        measure=args.measure,
+        drain=args.drain,
+    )
+    _print_sweep(
+        {args.config: points},
+        f"{args.config} / {mix.name} latency-throughput sweep",
+    )
+    _print_engine_summary(executor)
+    return 0
+
+
+def cmd_figure(args):
+    if args.name in SWEEP_FIGURES:
+        executor = _make_executor(args)
+        kwargs = dict(seed=args.seed, executor=executor)
+        if args.rates is not None:
+            kwargs["rates"] = args.rates
+        for attr in ("warmup", "measure", "drain"):
+            if getattr(args, attr) is not None:
+                kwargs[attr] = getattr(args, attr)
+        result = SWEEP_FIGURES[args.name](**kwargs)
+        _print_sweep(
+            {name: result[name] for name in ("proposed", "baseline")},
+            f"{args.name} ({result['traffic']} traffic)",
+        )
+        summary = experiments.summarize_sweeps(result)
+        print()
+        for key, value in summary.items():
+            shown = f"{value:.4g}" if isinstance(value, float) else value
+            print(f"{key:32s}: {shown}")
+        _print_engine_summary(executor)
+    else:
+        engine_flags = (
+            args.backend != "serial"
+            or args.workers is not None
+            or args.no_cache
+            or args.cache_dir != DEFAULT_CACHE_DIR
+        )
+        window_flags = (
+            args.rates is not None
+            or args.warmup is not None
+            or args.measure is not None
+            or args.drain is not None
+            or args.seed != DEFAULT_SEED
+        )
+        if engine_flags or window_flags:
+            print(
+                f"note: engine and measurement-window options only apply "
+                f"to {'/'.join(sorted(SWEEP_FIGURES))}; ignored for "
+                f"{args.name}",
+                file=sys.stderr,
+            )
+        result = PLAIN_FIGURES[args.name]()
+        print(pformat(result))
+    return 0
+
+
+def cmd_cache(args):
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        info = cache.stats()
+        print(
+            f"{info['entries']} cached result(s), {info['bytes']} bytes "
+            f"in {info['root']}"
+        )
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel, cached experiment engine for the DAC'12 "
+        "mesh-NoC reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a latency-throughput sweep for one design point"
+    )
+    sweep.add_argument("--config", choices=sorted(CONFIGS), default="proposed")
+    sweep.add_argument("--mix", choices=sorted(MIXES), default="mixed")
+    sweep.add_argument(
+        "--rates",
+        type=_parse_rates,
+        default=None,
+        metavar="R1,R2,...",
+        help="explicit injection rates (default: an auto grid)",
+    )
+    sweep.add_argument(
+        "--points",
+        type=_positive_int,
+        default=8,
+        help="auto-grid size (default: 8)",
+    )
+    sweep.add_argument(
+        "--headroom",
+        type=float,
+        default=1.15,
+        help="auto-grid top as a multiple of the mix ceiling",
+    )
+    _add_cycle_args(sweep, defaults=True)
+    _add_engine_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one table or figure of the paper"
+    )
+    figure.add_argument(
+        "name", choices=sorted(SWEEP_FIGURES) + sorted(PLAIN_FIGURES)
+    )
+    figure.add_argument(
+        "--rates",
+        type=_parse_rates,
+        default=None,
+        metavar="R1,R2,...",
+        help="override the sweep grid (fig5/fig13 only)",
+    )
+    _add_cycle_args(figure, defaults=False)
+    _add_engine_args(figure)
+    figure.set_defaults(func=cmd_figure)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.set_defaults(func=cmd_cache)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:  # domain validation (rates, workers, ...)
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went to a pager/head that closed early; die quietly
+        # like coreutils do (and keep the shutdown flush from crying)
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Batch execution of JobSpecs over pluggable backends.
+
+The :class:`Executor` is the engine's front door: it resolves each job
+against the (optional) :class:`~repro.engine.cache.ResultCache`, fans
+the misses out to a backend, stores the fresh results and returns
+WindowStats in job order.
+
+Two backends ship:
+
+* :class:`SerialBackend` — runs jobs in-process, one after another.
+  This is the default and is deterministically identical to the
+  pre-engine ``for rate in rates`` loop.
+* :class:`ProcessPoolBackend` — a ``multiprocessing`` pool.  Jobs cross
+  the process boundary as their serialized dicts (not pickled live
+  objects), so a worker reconstructs exactly what a serial run would
+  build; results come back the same way.  Because every job simulates a
+  fresh network from its own seed, the two backends produce
+  byte-identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.engine.jobspec import JobSpec
+from repro.noc.metrics import WindowStats
+
+
+class SerialBackend:
+    """In-process, in-order execution (the deterministic reference)."""
+
+    name = "serial"
+
+    def run(self, jobs):
+        return [job.run() for job in jobs]
+
+
+def _run_payload(payload):
+    """Worker entry point: dict in, dict out (must be module-level)."""
+    return JobSpec.from_dict(payload).run().to_dict()
+
+
+class ProcessPoolBackend:
+    """Fan jobs out over a ``multiprocessing`` pool of workers."""
+
+    name = "process"
+
+    def __init__(self, workers=None):
+        if workers is not None and workers < 1:
+            raise ValueError("worker count must be at least one")
+        self.workers = workers
+
+    def run(self, jobs):
+        workers = min(self.workers or os.cpu_count() or 1, len(jobs))
+        if workers <= 1:
+            return SerialBackend().run(jobs)
+        payloads = [job.to_dict() for job in jobs]
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(_run_payload, payloads, chunksize=1)
+        return [WindowStats.from_dict(d) for d in results]
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def make_backend(name, workers=None):
+    """Instantiate a backend by name ('serial' or 'process')."""
+    try:
+        backend_cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(_BACKENDS)}"
+        ) from None
+    if backend_cls is ProcessPoolBackend:
+        return backend_cls(workers=workers)
+    if workers is not None:
+        raise ValueError(
+            f"a worker count only applies to the process backend, "
+            f"not {name!r}"
+        )
+    return backend_cls()
+
+
+class Executor:
+    """Maps batches of JobSpecs to WindowStats, with optional caching.
+
+    Counters (reset never; read them between batches):
+
+    * ``cache_hits`` — jobs answered from the cache,
+    * ``cache_misses`` — jobs not found in the cache,
+    * ``executed`` — simulations actually run (== misses).
+    """
+
+    def __init__(self, backend="serial", workers=None, cache=None):
+        if isinstance(backend, str):
+            backend = make_backend(backend, workers=workers)
+        self.backend = backend
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.executed = 0
+
+    def run(self, jobs):
+        """Execute a batch; returns WindowStats in the order of ``jobs``."""
+        jobs = list(jobs)
+        results = [None] * len(jobs)
+        pending, pending_at = [], []
+        for i, job in enumerate(jobs):
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                self.cache_hits += 1
+                results[i] = cached
+            else:
+                self.cache_misses += 1
+                pending.append(job)
+                pending_at.append(i)
+        fresh = self.backend.run(pending) if pending else []
+        if len(fresh) != len(pending):
+            raise RuntimeError(
+                f"backend {getattr(self.backend, 'name', self.backend)!r} "
+                f"returned {len(fresh)} results for {len(pending)} jobs"
+            )
+        self.executed += len(pending)
+        for i, job, stats in zip(pending_at, pending, fresh):
+            if self.cache is not None:
+                self.cache.put(job, stats)
+            results[i] = stats
+        return results
+
+    def run_one(self, job):
+        """Convenience wrapper: execute a single job."""
+        return self.run([job])[0]

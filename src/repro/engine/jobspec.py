@@ -1,0 +1,107 @@
+"""The unit of work of the experiment engine.
+
+A :class:`JobSpec` pins down everything that determines one simulated
+operating point — network configuration, traffic mix, injection rate,
+seed and cycle counts.  Because the simulator is fully deterministic
+for a given seed (see DESIGN.md), a JobSpec is a *value*: running it
+twice, on any backend, yields byte-identical :class:`WindowStats`.
+That property is what makes both the process-pool fan-out and the
+content-addressed result cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.noc.config import NocConfig
+from repro.noc.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.mix import TrafficMix
+
+#: The paper's Section 4.1 measurement methodology; the single source
+#: for every layer that exposes window defaults (JobSpec, run_point,
+#: the fig5/fig13 drivers and the CLI).
+DEFAULT_SEED = 7
+DEFAULT_WARMUP = 1_000
+DEFAULT_MEASURE = 6_000
+DEFAULT_DRAIN = 6_000
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation point, as a hashable, serializable value object."""
+
+    config: NocConfig
+    mix: TrafficMix
+    rate: float
+    seed: int = DEFAULT_SEED
+    warmup: int = DEFAULT_WARMUP
+    measure: int = DEFAULT_MEASURE
+    drain: int = DEFAULT_DRAIN
+    identical_generators: bool = False
+    name: str = ""
+
+    def __post_init__(self):
+        if self.rate < 0 or self.rate > 1:
+            raise ValueError("injection rate must be within [0, 1]")
+        for attr in ("warmup", "measure", "drain"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} cycle count must be non-negative")
+
+    # ------------------------------------------------------------ identity
+
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts."""
+        return {
+            "config": self.config.to_dict(),
+            "mix": self.mix.to_dict(),
+            "rate": self.rate,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain": self.drain,
+            "identical_generators": self.identical_generators,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            config=NocConfig.from_dict(data["config"]),
+            mix=TrafficMix.from_dict(data["mix"]),
+            rate=float(data["rate"]),
+            seed=int(data["seed"]),
+            warmup=int(data["warmup"]),
+            measure=int(data["measure"]),
+            drain=int(data["drain"]),
+            identical_generators=bool(data["identical_generators"]),
+            name=data["name"],
+        )
+
+    def canonical_json(self):
+        """A canonical encoding: the basis of the content address."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def cache_key(self):
+        """Stable content hash; the filename in :class:`ResultCache`."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # ----------------------------------------------------------- execution
+
+    def run(self):
+        """Simulate this point on a fresh network; returns WindowStats."""
+        traffic = BernoulliTraffic(
+            self.mix,
+            self.rate,
+            seed=self.seed,
+            identical_generators=self.identical_generators,
+        )
+        sim = Simulator(self.config, traffic, name=self.name)
+        return sim.run_experiment(
+            warmup=self.warmup, measure=self.measure, drain=self.drain
+        )

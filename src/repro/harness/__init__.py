@@ -1,7 +1,14 @@
 """Experiment drivers that regenerate every table and figure."""
 
 from repro.harness import experiments
-from repro.harness.sweep import run_sweep, run_point
+from repro.harness.sweep import run_point, run_sweep, run_sweep_batch
 from repro.harness.tables import format_series, format_table
 
-__all__ = ["experiments", "format_series", "format_table", "run_point", "run_sweep"]
+__all__ = [
+    "experiments",
+    "format_series",
+    "format_table",
+    "run_point",
+    "run_sweep",
+    "run_sweep_batch",
+]

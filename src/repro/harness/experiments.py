@@ -24,7 +24,13 @@ from repro.core.presets import (
     proposed_network,
     strawman_network,
 )
-from repro.harness.sweep import run_point, run_sweep
+from repro.engine import (
+    DEFAULT_DRAIN,
+    DEFAULT_MEASURE,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+)
+from repro.harness.sweep import run_sweep_batch
 from repro.noc.metrics import aggregate
 from repro.noc.simulator import Simulator
 from repro.physical.area import AreaModel
@@ -85,29 +91,46 @@ def table4_area():
 # ---------------------------------------------------------------- figures
 
 
-def _latency_throughput(config_factory, mix, rates, name, **kwargs):
-    cfg = config_factory()
-    return run_sweep(cfg, mix, rates, name=name, **kwargs)
+def _paired_sweeps(mix, rates, executor=None, **kwargs):
+    """Proposed + baseline sweeps, submitted as one engine batch so a
+    process-pool backend can overlap the two."""
+    return run_sweep_batch(
+        {"proposed": proposed_network(), "baseline": baseline_network()},
+        mix,
+        rates,
+        executor=executor,
+        **kwargs,
+    )
 
 
 def fig5_mixed_traffic(
-    rates=None, warmup=1_000, measure=6_000, drain=6_000, seed=7
+    rates=None,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
+    seed=DEFAULT_SEED,
+    executor=None,
 ):
     """Fig. 5: latency vs injection for mixed traffic at 1 GHz.
 
     Returns the proposed and baseline sweeps plus the theoretical
-    latency and throughput limit lines.
+    latency and throughput limit lines.  ``executor`` (an
+    :class:`~repro.engine.Executor`) selects the execution backend and
+    result cache; the default is serial and uncached.
     """
     lim = MeshLimits(4)
     if rates is None:
         rates = [0.02, 0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.21]
-    kwargs = dict(warmup=warmup, measure=measure, drain=drain, seed=seed)
-    proposed = _latency_throughput(
-        proposed_network, MIXED_TRAFFIC, rates, "proposed", **kwargs
+    sweeps = _paired_sweeps(
+        MIXED_TRAFFIC,
+        rates,
+        executor=executor,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        seed=seed,
     )
-    baseline = _latency_throughput(
-        baseline_network, MIXED_TRAFFIC, rates, "baseline", **kwargs
-    )
+    proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     weights = {c.name: c.weight for c in MIXED_TRAFFIC.components}
     latency_limit = (
         weights["broadcast_request"] * lim.latency_limit("broadcast")
@@ -126,19 +149,27 @@ def fig5_mixed_traffic(
 
 
 def fig13_broadcast_traffic(
-    rates=None, warmup=1_000, measure=6_000, drain=6_000, seed=7
+    rates=None,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
+    seed=DEFAULT_SEED,
+    executor=None,
 ):
     """Fig. 13 / Appendix D: broadcast-only latency vs injection."""
     lim = MeshLimits(4)
     if rates is None:
         rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.072]
-    kwargs = dict(warmup=warmup, measure=measure, drain=drain, seed=seed)
-    proposed = _latency_throughput(
-        proposed_network, BROADCAST_ONLY, rates, "proposed", **kwargs
+    sweeps = _paired_sweeps(
+        BROADCAST_ONLY,
+        rates,
+        executor=executor,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        seed=seed,
     )
-    baseline = _latency_throughput(
-        baseline_network, BROADCAST_ONLY, rates, "baseline", **kwargs
-    )
+    proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     return {
         "traffic": "broadcast_only",
         "rates": list(rates),

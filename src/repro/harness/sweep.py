@@ -1,38 +1,88 @@
-"""Latency-throughput sweeps: the engine behind Figs. 5 and 13."""
+"""Latency-throughput sweeps: the engine behind Figs. 5 and 13.
+
+Sweeps are expressed as batches of :class:`~repro.engine.JobSpec` and
+executed by a :class:`~repro.engine.Executor`, so any sweep can run on
+the process-pool backend and hit the persistent result cache.  The
+default executor (serial, uncached) is deterministically identical to
+the historical ``for rate in rates`` loop.
+"""
 
 from __future__ import annotations
 
-from repro.noc.simulator import Simulator
-from repro.traffic.generators import BernoulliTraffic
+from repro.engine import (
+    DEFAULT_DRAIN,
+    DEFAULT_MEASURE,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+    Executor,
+    JobSpec,
+)
 
 
 def run_point(
     config,
     mix,
     rate,
-    seed=7,
-    warmup=1_000,
-    measure=6_000,
-    drain=6_000,
+    seed=DEFAULT_SEED,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
     identical_generators=False,
     name="",
 ):
     """Simulate one operating point; returns WindowStats."""
-    traffic = BernoulliTraffic(
-        mix, rate, seed=seed, identical_generators=identical_generators
-    )
-    sim = Simulator(config, traffic, name=name)
-    return sim.run_experiment(warmup=warmup, measure=measure, drain=drain)
+    return JobSpec(
+        config=config,
+        mix=mix,
+        rate=rate,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        identical_generators=identical_generators,
+        name=name,
+    ).run()
 
 
-def run_sweep(config, mix, rates, name="", **kwargs):
+def run_sweep(config, mix, rates, name="", executor=None, **kwargs):
     """Simulate a list of injection rates; returns a list of WindowStats.
 
     Each point runs on a fresh network (the paper's measurements reset
     the chip between operating points), so points are independent and
-    the sweep order does not matter.
+    the sweep order does not matter — which is exactly what lets the
+    process-pool backend fan them out.  Pass ``executor`` to choose a
+    backend and/or attach a :class:`~repro.engine.ResultCache`.
     """
-    return [run_point(config, mix, rate, name=name, **kwargs) for rate in rates]
+    jobs = [
+        JobSpec(config=config, mix=mix, rate=rate, name=name, **kwargs)
+        for rate in rates
+    ]
+    if executor is None:
+        executor = Executor()
+    return executor.run(jobs)
+
+
+def run_sweep_batch(named_configs, mix, rates, executor=None, **kwargs):
+    """Run one sweep per named config as a *single* engine batch.
+
+    All points of all sweeps are independent, so submitting them
+    together lets a process-pool backend overlap the sweeps and pay
+    pool start-up once, instead of serialising one sweep after the
+    other.  Returns ``{name: [WindowStats in rate order]}``.
+    """
+    items = list(named_configs.items())
+    jobs = [
+        JobSpec(config=cfg, mix=mix, rate=rate, name=name, **kwargs)
+        for name, cfg in items
+        for rate in rates
+    ]
+    if executor is None:
+        executor = Executor()
+    results = executor.run(jobs)
+    n = len(rates)
+    return {
+        name: results[i * n : (i + 1) * n] for i, (name, _) in enumerate(items)
+    }
 
 
 def default_rates(mix, num_nodes, points=8, headroom=1.15):

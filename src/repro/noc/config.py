@@ -23,6 +23,14 @@ class VCSpec:
         if self.depth < 1:
             raise ValueError("VC depth must be at least one flit")
 
+    def to_dict(self):
+        """A JSON-safe representation (see :meth:`from_dict`)."""
+        return {"mclass": self.mclass.name, "depth": self.depth}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(mclass=MessageClass[data["mclass"]], depth=int(data["depth"]))
+
 
 def proposed_vc_config():
     """The fabricated chip's VC provisioning (Section 3.3).
@@ -125,3 +133,31 @@ class NocConfig:
     def with_(self, **changes):
         """A modified copy (convenience wrapper over dataclasses.replace)."""
         return replace(self, **changes)
+
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts.
+
+        Used by :mod:`repro.engine` to hash configurations into cache
+        keys and to ship them across process boundaries.
+        """
+        return {
+            "k": self.k,
+            "vcs": [spec.to_dict() for spec in self.vcs],
+            "flit_bits": self.flit_bits,
+            "multicast": self.multicast,
+            "bypass": self.bypass,
+            "separate_st_lt": self.separate_st_lt,
+            "frequency_ghz": self.frequency_ghz,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            k=int(data["k"]),
+            vcs=tuple(VCSpec.from_dict(v) for v in data["vcs"]),
+            flit_bits=int(data["flit_bits"]),
+            multicast=bool(data["multicast"]),
+            bypass=bool(data["bypass"]),
+            separate_st_lt=bool(data["separate_st_lt"]),
+            frequency_ghz=float(data["frequency_ghz"]),
+        )

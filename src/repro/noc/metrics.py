@@ -88,6 +88,30 @@ class WindowStats:
         """Crude congestion indicator: work left over at window end."""
         return self.incomplete_messages > self.messages_measured
 
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts.
+
+        Lets :mod:`repro.engine` persist results in its on-disk cache
+        and return them from worker processes.
+        """
+        return {
+            "config_name": self.config_name,
+            "injection_rate": self.injection_rate,
+            "cycles": self.cycles,
+            "messages_measured": self.messages_measured,
+            "avg_latency": self.avg_latency,
+            "avg_latency_by_kind": dict(self.avg_latency_by_kind),
+            "received_flits": self.received_flits,
+            "throughput_flits_per_cycle": self.throughput_flits_per_cycle,
+            "throughput_gbps": self.throughput_gbps,
+            "bypass_fraction": self.bypass_fraction,
+            "incomplete_messages": self.incomplete_messages,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
 
 def message_kind(message):
     """Classify a message for per-kind latency reporting."""

@@ -32,6 +32,7 @@ class Simulator:
         self.network = MeshNetwork(config)
         self.cycle = 0
         self._last_progress = 0
+        self._watchdog_start = 0
         if traffic is not None:
             self.attach_traffic(traffic)
 
@@ -79,7 +80,7 @@ class Simulator:
             self._last_progress = ejections
             self._watchdog_start = self.cycle
             return
-        if self.cycle - getattr(self, "_watchdog_start", self.cycle) > WATCHDOG_CYCLES:
+        if self.cycle - self._watchdog_start > WATCHDOG_CYCLES:
             raise RuntimeError(
                 f"network made no progress for {WATCHDOG_CYCLES} cycles at "
                 f"cycle {self.cycle}: likely a flow-control bug"

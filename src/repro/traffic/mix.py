@@ -37,6 +37,26 @@ class TrafficComponent:
         if self.broadcast and self.num_flits != 1:
             raise ValueError("broadcasts are single-flit coherence requests")
 
+    def to_dict(self):
+        """A JSON-safe representation (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "mclass": self.mclass.name,
+            "num_flits": self.num_flits,
+            "broadcast": self.broadcast,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            weight=float(data["weight"]),
+            mclass=MessageClass[data["mclass"]],
+            num_flits=int(data["num_flits"]),
+            broadcast=bool(data["broadcast"]),
+        )
+
 
 @dataclass(frozen=True)
 class TrafficMix:
@@ -85,6 +105,26 @@ class TrafficMix:
             total += c.weight
             out.append((total, c))
         return out
+
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts.
+
+        Used by :mod:`repro.engine` to hash mixes into cache keys and
+        to ship them across process boundaries.
+        """
+        return {
+            "name": self.name,
+            "components": [c.to_dict() for c in self.components],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            components=tuple(
+                TrafficComponent.from_dict(c) for c in data["components"]
+            ),
+        )
 
 
 MIXED_TRAFFIC = TrafficMix(

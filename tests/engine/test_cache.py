@@ -1,0 +1,94 @@
+"""ResultCache: persistence, corruption tolerance, stats and clearing."""
+
+import json
+
+from repro.core.presets import proposed_network
+from repro.engine import CACHE_VERSION, JobSpec, ResultCache
+from repro.traffic.mix import MIXED_TRAFFIC
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+
+def make_job(**overrides):
+    base = dict(
+        config=proposed_network(), mix=MIXED_TRAFFIC, rate=0.03, **FAST
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def test_miss_on_empty_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(make_job()) is None
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0
+
+
+def test_put_then_get_round_trips(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    stats = job.run()
+    cache.put(job, stats)
+    assert cache.get(job) == stats
+    # a different job does not alias the entry
+    assert cache.get(make_job(rate=0.05)) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    cache.path_for(job).write_text("{ not json")
+    assert cache.get(job) is None
+    # and put() repairs it
+    stats = job.run()
+    cache.put(job, stats)
+    assert cache.get(job) == stats
+
+
+def test_version_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    entry = json.loads(cache.path_for(job).read_text())
+    entry["version"] = CACHE_VERSION + 1
+    cache.path_for(job).write_text(json.dumps(entry))
+    assert cache.get(job) is None
+
+
+def test_job_mismatch_is_a_miss(tmp_path):
+    # paranoia against hash collisions / hand-edited entries
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    entry = json.loads(cache.path_for(job).read_text())
+    entry["job"]["rate"] = 0.99
+    cache.path_for(job).write_text(json.dumps(entry))
+    assert cache.get(job) is None
+
+
+def test_clear_sweeps_orphaned_tmp_files(tmp_path):
+    # a SIGKILL between write and rename leaves a *.tmp behind; clear()
+    # must sweep it up even though it is not a cache entry
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    orphan = cache.root / "interrupted123.tmp"
+    orphan.write_text("partial")
+    assert cache.stats()["entries"] == 1
+    assert cache.clear() == 1
+    assert not orphan.exists()
+    assert list(cache.root.iterdir()) == []
+
+
+def test_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    jobs = [make_job(rate=r) for r in (0.02, 0.04)]
+    for job in jobs:
+        cache.put(job, job.run())
+    info = cache.stats()
+    assert info["entries"] == 2
+    assert info["bytes"] > 0
+    assert cache.clear() == 2
+    assert cache.stats()["entries"] == 0
+    assert all(cache.get(j) is None for j in jobs)

@@ -1,0 +1,127 @@
+"""The ``python -m repro`` command line, exercised in-process."""
+
+import pytest
+
+from repro.engine.cli import main
+
+FAST_WINDOW = [
+    "--warmup", "100", "--measure", "300", "--drain", "400",
+]
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_sweep_prints_tables_and_counters(tmp_path, capsys):
+    out = run_cli(
+        capsys,
+        "sweep",
+        "--config", "proposed",
+        "--mix", "mixed",
+        "--rates", "0.02,0.05",
+        *FAST_WINDOW,
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert "latency (cyc)" in out
+    assert "Gb/s" in out
+    assert "executed=2" in out and "cache_hits=0" in out
+
+
+def test_sweep_rerun_hits_cache(tmp_path, capsys):
+    argv = [
+        "sweep", "--rates", "0.02", *FAST_WINDOW,
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    run_cli(capsys, *argv)
+    out = run_cli(capsys, *argv)
+    assert "executed=0" in out and "cache_hits=1" in out
+
+
+def test_sweep_no_cache_leaves_no_files(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    run_cli(
+        capsys,
+        "sweep", "--rates", "0.02", *FAST_WINDOW,
+        "--cache-dir", str(cache_dir), "--no-cache",
+    )
+    assert not cache_dir.exists()
+
+
+def test_sweep_auto_grid_uses_points(tmp_path, capsys):
+    out = run_cli(
+        capsys,
+        "sweep", "--mix", "broadcast_only", "--points", "2",
+        "--warmup", "50", "--measure", "150", "--drain", "200",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert "executed=2" in out
+
+
+def test_figure_fig5_process_backend(tmp_path, capsys):
+    out = run_cli(
+        capsys,
+        "figure", "fig5",
+        "--rates", "0.02,0.05",
+        *FAST_WINDOW,
+        "--backend", "process", "--workers", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert "fig5" in out
+    assert "low_load_latency_reduction" in out
+    assert "backend=process" in out and "executed=4" in out
+
+
+def test_figure_table1_prints_rows(capsys):
+    out = run_cli(capsys, "figure", "table1")
+    assert "broadcast_hops" in out
+    assert capsys.readouterr().err == ""
+
+
+def test_figure_warns_when_engine_flags_ignored(capsys):
+    assert main(["figure", "table1", "--backend", "process"]) == 0
+    err = capsys.readouterr().err
+    assert "ignored for table1" in err
+
+
+def test_sweep_rejects_nonpositive_points(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--points", "0"])
+    assert "must be at least 1" in capsys.readouterr().err
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    run_cli(
+        capsys,
+        "sweep", "--rates", "0.02", *FAST_WINDOW, "--cache-dir", cache_dir,
+    )
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir)
+    assert "1 cached result(s)" in out
+    out = run_cli(capsys, "cache", "clear", "--cache-dir", cache_dir)
+    assert "removed 1" in out
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir)
+    assert "0 cached result(s)" in out
+
+
+def test_bad_rates_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--rates", "fast"])
+    capsys.readouterr()
+
+
+def test_domain_errors_exit_cleanly(capsys):
+    # out-of-range rate and zero workers are domain errors, not crashes
+    assert main(["sweep", "--rates", "1.5", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "repro: error:" in err and "injection rate" in err
+    assert (
+        main(
+            ["sweep", "--rates", "0.02", "--backend", "process",
+             "--workers", "0", "--no-cache"]
+        )
+        == 2
+    )
+    assert "worker count" in capsys.readouterr().err

@@ -1,0 +1,49 @@
+"""Determinism regression: a JobSpec is a pure function of its fields.
+
+The engine's cache and parallel backends are only sound because running
+the same JobSpec anywhere, any number of times, yields byte-identical
+WindowStats.  These tests pin that property down at the byte level.
+"""
+
+import json
+
+from repro.core.presets import baseline_network, proposed_network
+from repro.engine import Executor, JobSpec
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+
+def canonical_bytes(stats):
+    return json.dumps(stats.to_dict(), sort_keys=True).encode()
+
+
+def test_same_jobspec_twice_is_byte_identical():
+    job = JobSpec(
+        config=proposed_network(), mix=MIXED_TRAFFIC, rate=0.05, **FAST
+    )
+    assert canonical_bytes(job.run()) == canonical_bytes(job.run())
+
+
+def test_serial_and_process_backends_are_byte_identical():
+    jobs = [
+        JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=0.03,
+            name="proposed",
+            **FAST,
+        ),
+        JobSpec(
+            config=baseline_network(),
+            mix=BROADCAST_ONLY,
+            rate=0.02,
+            name="baseline",
+            identical_generators=True,
+            **FAST,
+        ),
+    ]
+    serial = Executor(backend="serial").run(jobs)
+    pooled = Executor(backend="process", workers=2).run(jobs)
+    for s, p in zip(serial, pooled):
+        assert canonical_bytes(s) == canonical_bytes(p)

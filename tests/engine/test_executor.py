@@ -1,0 +1,146 @@
+"""Executor: backend equivalence, cache counters, sweep integration."""
+
+import pytest
+
+from repro.core.presets import proposed_network
+from repro.engine import Executor, JobSpec, ResultCache, make_backend
+from repro.engine.executor import ProcessPoolBackend, SerialBackend
+from repro.harness import experiments as exp
+from repro.harness.sweep import run_sweep, run_sweep_batch
+from repro.traffic.mix import MIXED_TRAFFIC
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+
+def make_jobs(rates):
+    return [
+        JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=r,
+            name="proposed",
+            **FAST,
+        )
+        for r in rates
+    ]
+
+
+class TestBackends:
+    def test_make_backend_resolves_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("process", workers=2), ProcessPoolBackend)
+        with pytest.raises(ValueError):
+            make_backend("gpu")
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+
+    def test_workers_rejected_on_serial_backend(self):
+        # a worker count with the serial backend would be silently
+        # ignored; refuse it instead
+        with pytest.raises(ValueError):
+            Executor(backend="serial", workers=4)
+
+    def test_short_backend_result_is_an_error(self):
+        class DroppyBackend:
+            name = "droppy"
+
+            def run(self, jobs):
+                return [jobs[0].run()]  # silently drops the rest
+
+        ex = Executor(backend=DroppyBackend())
+        with pytest.raises(RuntimeError, match="1 results for 2 jobs"):
+            ex.run(make_jobs([0.02, 0.05]))
+
+    def test_process_pool_matches_serial(self):
+        jobs = make_jobs([0.02, 0.05])
+        serial = Executor(backend="serial").run(jobs)
+        pooled = Executor(backend="process", workers=2).run(jobs)
+        assert [p.to_dict() for p in pooled] == [s.to_dict() for s in serial]
+
+    def test_single_job_short_circuits_pool(self):
+        (stats,) = Executor(backend="process", workers=2).run(make_jobs([0.02]))
+        assert stats.injection_rate == 0.02
+
+
+class TestCaching:
+    def test_counters_track_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = make_jobs([0.02, 0.05])
+        ex = Executor(cache=cache)
+        first = ex.run(jobs)
+        assert (ex.executed, ex.cache_hits, ex.cache_misses) == (2, 0, 2)
+        second = ex.run(jobs)
+        assert (ex.executed, ex.cache_hits, ex.cache_misses) == (2, 2, 2)
+        assert second == first
+
+    def test_partial_hits_preserve_order(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        Executor(cache=cache).run(make_jobs([0.05]))
+        ex = Executor(cache=cache)
+        results = ex.run(make_jobs([0.02, 0.05, 0.08]))
+        assert ex.cache_hits == 1 and ex.executed == 2
+        assert [r.injection_rate for r in results] == [0.02, 0.05, 0.08]
+
+    def test_uncached_executor_always_runs(self):
+        ex = Executor()
+        ex.run(make_jobs([0.02]))
+        ex.run(make_jobs([0.02]))
+        assert ex.executed == 2 and ex.cache_hits == 0
+
+
+class TestSweepIntegration:
+    def test_run_sweep_default_matches_explicit_serial(self):
+        cfg = proposed_network()
+        rates = [0.02, 0.05]
+        default = run_sweep(cfg, MIXED_TRAFFIC, rates, name="proposed", **FAST)
+        explicit = run_sweep(
+            cfg,
+            MIXED_TRAFFIC,
+            rates,
+            name="proposed",
+            executor=Executor(backend="serial"),
+            **FAST,
+        )
+        assert [d.to_dict() for d in default] == [e.to_dict() for e in explicit]
+
+    def test_run_sweep_batch_matches_individual_sweeps(self):
+        from repro.core.presets import baseline_network
+
+        rates = [0.02, 0.05]
+        configs = {"proposed": proposed_network(), "baseline": baseline_network()}
+        ex = Executor()
+        batched = run_sweep_batch(configs, MIXED_TRAFFIC, rates, executor=ex, **FAST)
+        assert ex.executed == 4  # one batch, all four points
+        for name, cfg in configs.items():
+            single = run_sweep(cfg, MIXED_TRAFFIC, rates, name=name, **FAST)
+            assert [b.to_dict() for b in batched[name]] == [
+                s.to_dict() for s in single
+            ]
+
+    def test_fig5_cached_rerun_performs_zero_simulations(self, tmp_path):
+        # Acceptance criterion: a cached re-run of the Fig. 5 sweep
+        # performs zero new simulations.
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(rates=[0.02, 0.05], warmup=100, measure=400, drain=500)
+        cold = Executor(cache=cache)
+        first = exp.fig5_mixed_traffic(executor=cold, **kwargs)
+        assert cold.executed == 4  # 2 rates x (proposed + baseline)
+        warm = Executor(cache=cache)
+        second = exp.fig5_mixed_traffic(executor=warm, **kwargs)
+        assert warm.executed == 0
+        assert warm.cache_hits == 4
+        for series in ("proposed", "baseline"):
+            assert [p.to_dict() for p in second[series]] == [
+                p.to_dict() for p in first[series]
+            ]
+
+    def test_fig5_process_backend_matches_serial(self):
+        kwargs = dict(rates=[0.02, 0.05], warmup=100, measure=400, drain=500)
+        serial = exp.fig5_mixed_traffic(**kwargs)
+        pooled = exp.fig5_mixed_traffic(
+            executor=Executor(backend="process", workers=2), **kwargs
+        )
+        for series in ("proposed", "baseline"):
+            assert [p.to_dict() for p in pooled[series]] == [
+                p.to_dict() for p in serial[series]
+            ]

@@ -6,7 +6,7 @@ from repro import proposed_network
 from repro.harness import experiments as exp
 from repro.harness.sweep import default_rates, run_point, run_sweep
 from repro.harness.tables import format_series, format_table
-from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
 
 FAST = dict(warmup=200, measure=1000, drain=1500)
 
@@ -48,6 +48,30 @@ class TestSweep:
         assert len(rates) == 6
         assert rates[-1] > BROADCAST_ONLY.saturation_injection_rate(16)
         assert all(0 < r <= 1 for r in rates)
+
+    def test_default_rates_grid_is_even_from_near_zero(self):
+        rates = default_rates(MIXED_TRAFFIC, 16, points=8, headroom=1.15)
+        # top of the grid is headroom x the mix ceiling...
+        ceiling = MIXED_TRAFFIC.saturation_injection_rate(16)
+        assert rates[-1] == pytest.approx(1.15 * ceiling)
+        # ...divided evenly so the first point sits near zero load
+        assert rates[0] == pytest.approx(rates[-1] / 8)
+        steps = [b - a for a, b in zip(rates, rates[1:])]
+        assert all(s == pytest.approx(steps[0]) for s in steps)
+        assert sorted(rates) == rates
+
+    def test_default_rates_clamped_at_one(self):
+        # uniform unicast has a ceiling of 1.0 flit/node/cycle, so any
+        # headroom beyond it must clamp the grid top at the physical
+        # one-flit-per-cycle injection limit
+        assert UNIFORM_UNICAST.saturation_injection_rate(16) == 1.0
+        rates = default_rates(UNIFORM_UNICAST, 16, points=5, headroom=4.0)
+        assert rates[-1] == 1.0
+        assert rates[0] == pytest.approx(0.2)
+
+    def test_default_rates_honors_points(self):
+        for points in (1, 3, 12):
+            assert len(default_rates(BROADCAST_ONLY, 16, points=points)) == points
 
 
 class TestExperimentDrivers:
