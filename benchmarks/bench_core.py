@@ -1,0 +1,186 @@
+"""Micro-benchmark of the simulator cycle loop (the BENCH_core trajectory).
+
+Measures cycles/second of the activity-gated loop and of the ungated
+reference loop at low / mid / saturation load on 4x4 and 8x8 meshes
+(mixed traffic, the Fig. 5 operating regime), and writes the results to
+``BENCH_core.json`` so the speedup trajectory is pinned across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py                  # measure, print
+    PYTHONPATH=src python benchmarks/bench_core.py --output BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core.py \
+        --check benchmarks/BENCH_core.json --tolerance 0.30         # CI smoke
+
+``--check`` compares the *speedup ratios* (gated vs reference, both
+measured in the same process on the same machine) against the committed
+baseline, which makes the regression gate robust to runner speed;
+absolute cycles/sec are recorded for human trend-reading only.  In
+check mode the cycle budgets are taken from the baseline's
+``cycles_timed`` so the comparison is apples-to-apples (``--quick`` is
+ignored), and the check fails if any baseline point went unmeasured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.harness.sweep import default_rates
+from repro.noc.config import NocConfig
+from repro.noc.simulator import Simulator
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.mix import MIXED_TRAFFIC
+
+#: Fig. 5 operating points for the 4x4 chip; low/mid/saturation for
+#: larger meshes are derived from the mix's theoretical rate grid.
+FIG5_RATES = {"low": 0.02, "mid": 0.14, "saturation": 0.21}
+
+#: Perf-trajectory anchors: cycles/sec of the *pre-gating* cycle loop
+#: (PR 1, commit 1a1a3b7), measured on the same machine and with the
+#: same cycle budgets as the committed BENCH_core.json baseline.  The
+#: derived ``speedup_vs_pr1_loop`` is only meaningful when the current
+#: run executes on comparable hardware; the CI regression gate uses the
+#: in-process gated/reference ratio instead, which is machine-robust.
+PR1_LOOP_CYCLES_PER_SEC = {
+    ("4x4", "low"): 2522.3,
+    ("4x4", "mid"): 1433.3,
+    ("4x4", "saturation"): 1003.8,
+    ("8x8", "low"): 473.0,
+    ("8x8", "mid"): 269.9,
+    ("8x8", "saturation"): 228.0,
+}
+
+
+def load_points(k):
+    if k == 4:
+        return FIG5_RATES
+    grid = default_rates(MIXED_TRAFFIC, k * k, points=8)
+    return {"low": grid[0], "mid": grid[3], "saturation": grid[7]}
+
+
+def time_loop(k, rate, cycles, warmup, gated):
+    cfg = NocConfig(k=k)
+    traffic = BernoulliTraffic(MIXED_TRAFFIC, rate, seed=7)
+    sim = Simulator(cfg, traffic, gated=gated)
+    sim.run(warmup)
+    start = time.perf_counter()
+    sim.run(cycles)
+    elapsed = time.perf_counter() - start
+    return cycles / elapsed
+
+
+def measure(quick=False, budgets=None):
+    """Time all points; ``budgets`` maps (mesh, load) to cycle counts
+    (used in check mode to replay the baseline's exact budgets)."""
+    points = []
+    for k in (4, 8):
+        default = (1_500 if quick else 4_000) if k == 4 else (600 if quick else 1_500)
+        warmup = 300 if k == 4 else 200
+        for load, rate in load_points(k).items():
+            budget = default
+            if budgets:
+                budget = budgets.get((f"{k}x{k}", load), default)
+            gated = time_loop(k, rate, budget, warmup, gated=True)
+            reference = time_loop(k, rate, budget, warmup, gated=False)
+            point = {
+                "mesh": f"{k}x{k}",
+                "load": load,
+                "rate": round(rate, 6),
+                "cycles_timed": budget,
+                "gated_cycles_per_sec": round(gated, 1),
+                "reference_cycles_per_sec": round(reference, 1),
+                "speedup": round(gated / reference, 3),
+            }
+            anchor = PR1_LOOP_CYCLES_PER_SEC.get((f"{k}x{k}", load))
+            if anchor:
+                point["pr1_loop_cycles_per_sec"] = anchor
+                point["speedup_vs_pr1_loop"] = round(gated / anchor, 3)
+            points.append(point)
+            print(
+                f"{k}x{k} {load:10s} rate={rate:.4f}  "
+                f"gated={gated:10,.0f} c/s  reference={reference:10,.0f} c/s  "
+                f"speedup={gated / reference:.2f}x",
+                file=sys.stderr,
+            )
+    return {
+        "schema": 1,
+        "traffic": MIXED_TRAFFIC.name,
+        "python": platform.python_version(),
+        "points": points,
+    }
+
+
+def check(result, baseline, tolerance):
+    """Fail (return nonzero) if any point's speedup regressed or any
+    baseline point went unmeasured (a silently-vacuous gate is worse
+    than a failing one)."""
+    expected = {(p["mesh"], p["load"]): p["speedup"] for p in baseline["points"]}
+    failures = []
+    covered = set()
+    for p in result["points"]:
+        key = (p["mesh"], p["load"])
+        if key not in expected:
+            continue
+        covered.add(key)
+        floor = expected[key] * (1.0 - tolerance)
+        verdict = "ok" if p["speedup"] >= floor else "REGRESSED"
+        print(
+            f"{key[0]} {key[1]:10s} speedup {p['speedup']:.2f}x "
+            f"(baseline {expected[key]:.2f}x, floor {floor:.2f}x) {verdict}",
+            file=sys.stderr,
+        )
+        if p["speedup"] < floor:
+            failures.append(key)
+    missing = sorted(set(expected) - covered)
+    if missing:
+        print(f"baseline points not measured: {missing}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"perf regression at {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", help="write the measurement JSON here")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced cycle budgets (CI smoke)"
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", help="compare speedups against this JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = budgets = None
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        budgets = {
+            (p["mesh"], p["load"]): p["cycles_timed"] for p in baseline["points"]
+        }
+    result = measure(quick=args.quick, budgets=budgets)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    else:
+        json.dump(result, sys.stdout, indent=1, sort_keys=True)
+        print()
+    if baseline is not None:
+        return check(result, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

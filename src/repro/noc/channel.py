@@ -8,21 +8,37 @@ Because all cross-component communication goes through channels, the
 per-cycle evaluation order of routers cannot leak combinational state
 across the network, which keeps the simulation deterministic and
 faithful to synchronous hardware.
+
+Channels are also the wake sources of the activity-gated cycle loop
+(DESIGN.md §3): a channel constructed with a ``wake`` callback invokes
+it with the arrival cycle of every payload it accepts, so the mesh can
+schedule the receiving component to run exactly when something will be
+delivered to it, and an idle wire costs nothing per cycle.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+#: Shared result of draining an empty channel.  Callers only iterate or
+#: compare it; they must never mutate it.
+_NO_PAYLOADS = []
+
 
 class Channel:
     """A fixed-delay, in-order pipe carrying at most one payload per cycle."""
 
-    def __init__(self, delay=1, name=""):
+    __slots__ = ("delay", "name", "wake", "_queue", "_last_send_cycle")
+
+    def __init__(self, delay=1, name="", wake=None):
         if delay < 1:
             raise ValueError("channel delay must be at least one cycle")
         self.delay = delay
         self.name = name
+        #: Called with the arrival cycle of each accepted payload so the
+        #: network can wake the receiving component (``None`` when the
+        #: channel is used standalone, outside a gated mesh).
+        self.wake = wake
         self._queue = deque()
         self._last_send_cycle = None
 
@@ -33,13 +49,20 @@ class Channel:
                 f"channel {self.name or id(self)} driven twice in cycle {cycle}"
             )
         self._last_send_cycle = cycle
-        self._queue.append((cycle + self.delay, payload))
+        arrival = cycle + self.delay
+        self._queue.append((arrival, payload))
+        if self.wake is not None:
+            self.wake(arrival)
 
     def receive(self, cycle):
         """Pop every payload whose arrival cycle is ``<= cycle``."""
+        queue = self._queue
+        # earliest-arrival fast path: empty/idle wires cost one compare
+        if not queue or queue[0][0] > cycle:
+            return _NO_PAYLOADS
         out = []
-        while self._queue and self._queue[0][0] <= cycle:
-            out.append(self._queue.popleft()[1])
+        while queue and queue[0][0] <= cycle:
+            out.append(queue.popleft()[1])
         return out
 
     def peek_arrivals(self, cycle):
@@ -59,8 +82,13 @@ class MultiChannel(Channel):
     channel with multi-send keeps the wiring simple.
     """
 
+    __slots__ = ()
+
     def send(self, cycle, payload):
-        self._queue.append((cycle + self.delay, payload))
+        arrival = cycle + self.delay
+        self._queue.append((arrival, payload))
         # keep FIFO order even with multiple sends per cycle
         if len(self._queue) > 1 and self._queue[-1][0] < self._queue[-2][0]:
             raise RuntimeError("multichannel send cycles went backwards")
+        if self.wake is not None:
+            self.wake(arrival)

@@ -109,7 +109,7 @@ class Packet:
 _flit_uid = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """A flow-control unit travelling hop by hop through the mesh.
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.noc.flit import MessageClass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Lookahead:
     """The information encoded in the 15-bit lookahead signal.
 
@@ -37,7 +37,7 @@ class Lookahead:
     destinations: frozenset
 
 
-@dataclass
+@dataclass(slots=True)
 class STOp:
     """A crossbar traversal scheduled for a specific upcoming cycle.
 

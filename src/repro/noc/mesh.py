@@ -5,12 +5,31 @@ are one cycle (two with the textbook split ST/LT pipeline), lookahead
 wires are one cycle, and credit wires are two cycles (one cycle of wire
 plus one cycle of credit processing at the upstream node), which yields
 the paper's 3-cycle buffer/VC turnaround for the bypassed pipeline.
+
+The mesh is also the bookkeeper of the activity-gated cycle loop
+(DESIGN.md §3).  It maintains explicit wake schedules so that
+:meth:`repro.noc.simulator.Simulator.step` touches only components that
+can actually do something this cycle:
+
+* every channel is wired with a ``wake`` callback that schedules its
+  sink (router or NIC) for the payload's exact arrival cycle;
+* routers re-arm themselves through
+  :meth:`~repro.noc.router.Router.has_local_work` while they hold
+  buffered/latched flits, scheduled ``st_ops``, lookahead latches or S2
+  registers (the simulator performs the re-arm after each cycle);
+* NICs stay in the live set while they have a traffic source attached
+  or injection backlog (:meth:`wake_nic_step` is invoked by source
+  attachment and by :meth:`~repro.noc.nic.Nic.submit`).
+
+Skipping a component that none of the wake conditions cover is exact:
+all phase methods are no-ops for such a component, so gated and ungated
+stepping produce byte-identical traces.
 """
 
 from __future__ import annotations
 
 from repro.noc.channel import Channel, MultiChannel
-from repro.noc.metrics import ActivityCounters
+from repro.noc.metrics import ActivityCounters, aggregate
 from repro.noc.nic import Nic
 from repro.noc.ports import EAST, LOCAL, NORTH, OPPOSITE, SOUTH, WEST
 from repro.noc.router import Router
@@ -18,6 +37,15 @@ from repro.noc.routing import coords, node_at
 
 CREDIT_DELAY = 2
 LOOKAHEAD_DELAY = 1
+
+
+def _insert_wake(wakes, cycle, node):
+    """Add ``node`` to the ``cycle`` entry of a wake schedule."""
+    pending = wakes.get(cycle)
+    if pending is None:
+        wakes[cycle] = {node}
+    else:
+        pending.add(node)
 
 
 class MeshNetwork:
@@ -32,6 +60,19 @@ class MeshNetwork:
         self.router_stats = [ActivityCounters() for _ in range(config.num_nodes)]
         self.nic_stats = [ActivityCounters() for _ in range(config.num_nodes)]
         self.messages = []
+        #: cycles stepped so far; the single network-level cycle counter
+        #: that replaces per-component ``stats.cycles`` ticking (folded
+        #: back into the aggregates by :meth:`total_router_activity`).
+        self.cycles = 0
+        #: monotonic network-wide ejection count (O(1) watchdog probe).
+        self.ejections = 0
+        # wake schedules: absolute cycle -> set of component indices
+        # that will receive a channel delivery in that cycle
+        self._router_wakes = {}
+        self._nic_rx_wakes = {}
+        # NICs that must run their injection step() each cycle
+        self._live_nics = set(range(config.num_nodes))
+        self._live_order = None  # cached sorted view of _live_nics
         self.routers = [
             Router(config, n, self.router_stats[n]) for n in range(config.num_nodes)
         ]
@@ -39,14 +80,67 @@ class MeshNetwork:
             Nic(config, n, self.nic_stats[n], self.messages)
             for n in range(config.num_nodes)
         ]
+        for component in (*self.routers, *self.nics):
+            component.network = self
         self._channels = []
         self._wire_local_ports()
         self._wire_mesh_links()
 
-    def _channel(self, cls, delay, name):
-        channel = cls(delay, name)
+    def _channel(self, cls, delay, name, wake):
+        channel = cls(delay, name, wake=wake)
         self._channels.append(channel)
         return channel
+
+    # ------------------------------------------------------------------
+    # wake scheduling (the active sets of the gated cycle loop)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _waker(wakes, node):
+        """A channel wake callback scheduling ``node`` in ``wakes``."""
+
+        def wake(cycle, _node=node, _wakes=wakes):
+            _insert_wake(_wakes, cycle, _node)
+
+        return wake
+
+    def _router_waker(self, node):
+        """A channel wake callback targeting router ``node``."""
+        return self._waker(self._router_wakes, node)
+
+    def _nic_waker(self, node):
+        """A channel wake callback targeting NIC ``node`` (its rx side)."""
+        return self._waker(self._nic_rx_wakes, node)
+
+    def schedule_router_wake(self, node, cycle):
+        """Ensure router ``node`` runs at ``cycle`` (delivery or re-arm)."""
+        _insert_wake(self._router_wakes, cycle, node)
+
+    def pop_router_wakes(self, cycle):
+        """Consume and return the router active set for ``cycle``."""
+        return self._router_wakes.pop(cycle, None)
+
+    def pop_nic_rx_wakes(self, cycle):
+        """Consume and return the NIC receive set for ``cycle``."""
+        return self._nic_rx_wakes.pop(cycle, None)
+
+    def wake_nic_step(self, node):
+        """Mark NIC ``node`` live: it has a source or injection backlog."""
+        if node not in self._live_nics:
+            self._live_nics.add(node)
+            self._live_order = None
+
+    def retire_nic_step(self, node):
+        """Drop NIC ``node`` from the live set (no source, no backlog)."""
+        self._live_nics.discard(node)
+        self._live_order = None
+
+    def live_nics(self):
+        """The NICs whose step() must run this cycle, in index order."""
+        order = self._live_order
+        if order is None:
+            order = self._live_order = tuple(sorted(self._live_nics))
+        return order
 
     # ------------------------------------------------------------------
     # wiring
@@ -55,26 +149,33 @@ class MeshNetwork:
     def _wire_local_ports(self):
         link_delay = self.cfg.link_delay
         for node, (router, nic) in enumerate(zip(self.routers, self.nics)):
-            inject = self._channel(Channel, 1, f"nic{node}->r{node}")
+            to_router = self._router_waker(node)
+            to_nic = self._nic_waker(node)
+
+            inject = self._channel(Channel, 1, f"nic{node}->r{node}", to_router)
             nic.link_out = inject
             router.in_ports[LOCAL].link_in = inject
 
             inj_credit = self._channel(
-                MultiChannel, CREDIT_DELAY, f"r{node}->nic{node}.credit"
+                MultiChannel, CREDIT_DELAY, f"r{node}->nic{node}.credit", to_nic
             )
             router.in_ports[LOCAL].credit_out = inj_credit
             nic.credit_in = inj_credit
 
-            la = self._channel(Channel, LOOKAHEAD_DELAY, f"nic{node}->r{node}.la")
+            la = self._channel(
+                Channel, LOOKAHEAD_DELAY, f"nic{node}->r{node}.la", to_router
+            )
             nic.la_out = la
             router.in_ports[LOCAL].la_in = la
 
-            eject = self._channel(Channel, link_delay, f"r{node}->nic{node}")
+            eject = self._channel(
+                Channel, link_delay, f"r{node}->nic{node}", to_nic
+            )
             router.out_ports[LOCAL].link_out = eject
             nic.link_in = eject
 
             ej_credit = self._channel(
-                MultiChannel, CREDIT_DELAY, f"nic{node}->r{node}.credit"
+                MultiChannel, CREDIT_DELAY, f"nic{node}->r{node}.credit", to_router
             )
             nic.credit_out = ej_credit
             router.out_ports[LOCAL].credit_in = ej_credit
@@ -84,6 +185,7 @@ class MeshNetwork:
         link_delay = self.cfg.link_delay
         for node in range(self.cfg.num_nodes):
             x, y = coords(node, k)
+            to_src = self._router_waker(node)
             for port, (nx, ny) in (
                 (NORTH, (x, y + 1)),
                 (EAST, (x + 1, y)),
@@ -96,19 +198,25 @@ class MeshNetwork:
                 src = self.routers[node]
                 dst = self.routers[neighbour]
                 back_port = OPPOSITE[port]
+                to_dst = self._router_waker(neighbour)
 
-                link = self._channel(Channel, link_delay, f"r{node}->r{neighbour}")
+                link = self._channel(
+                    Channel, link_delay, f"r{node}->r{neighbour}", to_dst
+                )
                 src.out_ports[port].link_out = link
                 dst.in_ports[back_port].link_in = link
 
                 credit = self._channel(
-                    MultiChannel, CREDIT_DELAY, f"r{neighbour}->r{node}.credit"
+                    MultiChannel,
+                    CREDIT_DELAY,
+                    f"r{neighbour}->r{node}.credit",
+                    to_src,
                 )
                 dst.in_ports[back_port].credit_out = credit
                 src.out_ports[port].credit_in = credit
 
                 la = self._channel(
-                    Channel, LOOKAHEAD_DELAY, f"r{node}->r{neighbour}.la"
+                    Channel, LOOKAHEAD_DELAY, f"r{node}->r{neighbour}.la", to_dst
                 )
                 src.out_ports[port].la_out = la
                 dst.in_ports[back_port].la_in = la
@@ -121,19 +229,39 @@ class MeshNetwork:
         return sum(r.occupancy() for r in self.routers)
 
     def idle(self):
-        """Nothing buffered, latched, scheduled, queued or in flight."""
+        """Nothing buffered, latched, scheduled, queued or in flight.
+
+        This is the exhaustive O(network) scan; the gated cycle loop
+        uses the equivalent O(active) :meth:`quiescent` instead.
+        """
         return (
             all(r.idle() for r in self.routers)
             and all(nic.idle() for nic in self.nics)
             and all(ch.in_flight == 0 for ch in self._channels)
         )
 
-    def total_router_activity(self):
-        from repro.noc.metrics import aggregate
+    def quiescent(self):
+        """O(active) equivalent of :meth:`idle` under gated stepping.
 
-        return aggregate(self.router_stats)
+        Sound because of the wake invariants: every in-flight payload
+        has a wake entry at its arrival cycle, every router with local
+        work is re-armed for the next cycle, and every NIC with backlog
+        is in the live set.  Hence empty schedules plus idle live NICs
+        imply the exhaustive scan would also report idle.
+        """
+        if self._router_wakes or self._nic_rx_wakes:
+            return False
+        nics = self.nics
+        return all(nics[i].idle() for i in self._live_nics)
+
+    def total_router_activity(self):
+        """Aggregate router counters with elapsed cycles folded in."""
+        agg = aggregate(self.router_stats)
+        agg.cycles += self.cycles * len(self.router_stats)
+        return agg
 
     def total_nic_activity(self):
-        from repro.noc.metrics import aggregate
-
-        return aggregate(self.nic_stats)
+        """Aggregate NIC counters with elapsed cycles folded in."""
+        agg = aggregate(self.nic_stats)
+        agg.cycles += self.cycles * len(self.nic_stats)
+        return agg

@@ -13,9 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivityCounters:
-    """Event counts for one router or NIC."""
+    """Event counts for one router or NIC.
+
+    ``cycles`` is no longer ticked per component per cycle: the
+    simulator keeps one network-level cycle counter and
+    :meth:`~repro.noc.mesh.MeshNetwork.total_router_activity` /
+    :meth:`~repro.noc.mesh.MeshNetwork.total_nic_activity` fold it into
+    the aggregate at snapshot time (as ``elapsed * num_components``,
+    matching the historical per-component ticking).
+    """
 
     buffer_writes: int = 0
     buffer_reads: int = 0

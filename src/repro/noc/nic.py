@@ -38,13 +38,34 @@ class Nic:
         self.queues = {mc: deque() for mc in MessageClass}
         self._mc_rr = deque(MessageClass)
         self._pending = None
+        #: owning :class:`~repro.noc.mesh.MeshNetwork` (``None`` standalone);
+        #: notified whenever this NIC acquires injection work so the
+        #: gated cycle loop knows to step it.
+        self.network = None
         # wires, connected by MeshNetwork
         self.link_out = None
         self.la_out = None
         self.credit_in = None
         self.link_in = None
         self.credit_out = None
-        self.source = None
+        self._source = None
+
+    @property
+    def source(self):
+        """The attached traffic source (``None`` for a silent NIC).
+
+        A NIC with a source must be stepped every cycle — the source
+        draws from its PRBS stream per cycle, so skipping a step would
+        change the traffic trace.  Attaching one therefore wakes the
+        NIC in the owning network's active set.
+        """
+        return self._source
+
+    @source.setter
+    def source(self, source):
+        self._source = source
+        if source is not None and self.network is not None:
+            self.network.wake_nic_step(self.node)
 
     # ------------------------------------------------------------------
     # message admission
@@ -80,6 +101,8 @@ class Nic:
                 self.queues[spec.mclass].append(flit)
         self.message_log.append(message)
         self.stats.messages_submitted += 1
+        if self.network is not None:
+            self.network.wake_nic_step(self.node)
         return message
 
     # ------------------------------------------------------------------
@@ -111,13 +134,18 @@ class Nic:
         if self._pending is not None:
             self.link_out.send(cycle, self._pending)
             self._pending = None
-        if self.source is not None:
-            for spec in self.source.generate(cycle, self.node):
+        source = self._source
+        if source is not None:
+            for spec in source.generate(cycle, self.node):
                 self.submit(spec, cycle)
         self._decide(cycle)
 
     def _decide(self, cycle):
         """VC-allocate at most one flit; its link traversal is next cycle."""
+        # nothing queued: skipping the round-robin scan is exact (a full
+        # fruitless scan rotates the deque back to its start position)
+        if not any(self.queues.values()):
+            return
         for _ in range(len(self._mc_rr)):
             mclass = self._mc_rr[0]
             self._mc_rr.rotate(-1)

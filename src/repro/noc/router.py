@@ -23,12 +23,10 @@ round-robin promoting one VC into the port's outport-request register).
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from repro.noc.arbiters import MatrixArbiter, RoundRobinArbiter
 from repro.noc.lookahead import Lookahead, STOp
 from repro.noc.ports import LOCAL, NUM_PORTS, port_name
-from repro.noc.routing import route_xy_tree
+from repro.noc.routing import _route_xy_tree
 from repro.noc.vc import CreditMsg, InputVC, OutputVCTracker
 
 
@@ -84,6 +82,15 @@ class Router:
         self.in_ports = [InputPort(config, p) for p in range(NUM_PORTS)]
         self.out_ports = [OutputPort(config, p) for p in range(NUM_PORTS)]
         self.msa1 = [RoundRobinArbiter(config.num_vcs) for _ in range(NUM_PORTS)]
+        #: owning :class:`~repro.noc.mesh.MeshNetwork` (``None`` standalone);
+        #: carries the network-wide monotonic ejection counter.
+        self.network = None
+        # mSA-II scratch containers, reused across cycles so the hot
+        # allocation path performs no per-call dict/set construction
+        self._candidates = {}
+        self._requests = {}
+        self._winners = {}
+        self._used_out = set()
 
     # ------------------------------------------------------------------
     # cycle phases
@@ -95,7 +102,10 @@ class Router:
             if not ip.connected:
                 continue
             for flit in ip.link_in.receive(cycle):
-                flit.route = route_xy_tree(self.node, flit.destinations, self.cfg.k)
+                # flit.destinations is always a frozenset, so the memoized
+                # partition is called directly, skipping the normalizing
+                # route_xy_tree wrapper on the per-flit-per-hop path
+                flit.route = _route_xy_tree(self.node, flit.destinations, self.cfg.k)
                 op = ip.st_ops.get(cycle)
                 if op is not None and op.kind == "bypass":
                     if ip.latch is not None:
@@ -154,14 +164,17 @@ class Router:
                 self.out_ports[port].link_out.send(cycle, copy)
                 if port == LOCAL:
                     self.stats.ejections += 1
+                    if self.network is not None:
+                        self.network.ejections += 1
                 else:
                     self.stats.link_traversals += 1
 
     def msa2_stage(self, cycle):
         """Second allocation stage: lookahead pass, then buffered pass."""
-        used_out = set()
+        used_out = self._used_out
+        used_out.clear()
         if self.cfg.bypass:
-            used_out = self._lookahead_pass(cycle)
+            self._lookahead_pass(cycle, used_out)
         self._buffered_pass(cycle, used_out)
 
     def msa1_stage(self, cycle):
@@ -169,8 +182,14 @@ class Router:
         for ip in self.in_ports:
             if not ip.connected or ip.s2_vc is not None:
                 continue
-            eligible = [vc.index for vc in ip.vcs if vc.oldest_unrequested()]
-            if not eligible:
+            eligible = None
+            for vc in ip.vcs:
+                if vc.buffer and vc.oldest_unrequested() is not None:
+                    if eligible is None:
+                        eligible = [vc.index]
+                    else:
+                        eligible.append(vc.index)
+            if eligible is None:
                 continue
             winner = self.msa1[ip.port].grant(eligible)
             ip.vcs[winner].oldest_unrequested().stage = "S2"
@@ -237,15 +256,18 @@ class Router:
         )
         self.stats.la_sent += 1
 
-    def _lookahead_pass(self, cycle):
-        """Arbitrate lookaheads; returns output ports consumed by winners."""
-        candidates = {}
-        requests = defaultdict(list)
+    def _lookahead_pass(self, cycle, used_out):
+        """Arbitrate lookaheads; adds output ports consumed by winners
+        to ``used_out``."""
+        candidates = self._candidates
+        candidates.clear()
+        requests = self._requests
+        requests.clear()
         for ip in self.in_ports:
             la = ip.la_now
             if la is None or not self._la_eligible(ip, la, cycle):
                 continue
-            route = route_xy_tree(self.node, la.destinations, self.cfg.k)
+            route = _route_xy_tree(self.node, la.destinations, self.cfg.k)
             if not all(
                 self._port_resources_ok(p, la.mclass, la.pid, la.is_head)
                 for p in route
@@ -253,11 +275,17 @@ class Router:
                 continue
             candidates[ip.port] = (la, route)
             for p in route:
-                requests[p].append(ip.port)
-        winners = {
-            p: self.out_ports[p].arbiter.grant(reqs) for p, reqs in requests.items()
-        }
-        used_out = set()
+                reqs = requests.get(p)
+                if reqs is None:
+                    requests[p] = [ip.port]
+                else:
+                    reqs.append(ip.port)
+        if not candidates:
+            return
+        winners = self._winners
+        winners.clear()
+        for p, reqs in requests.items():
+            winners[p] = self.out_ports[p].arbiter.grant(reqs)
         for in_port, (la, route) in candidates.items():
             # multicast bypass is all-or-nothing: a flit cannot both
             # traverse and be buffered, so any lost branch buffers it
@@ -274,12 +302,13 @@ class Router:
                 kind="bypass", in_port=in_port, vc=la.vc, flit=None, grants=grants
             )
             self.stats.msa2_grants += 1
-        return used_out
 
     def _buffered_pass(self, cycle, used_out):
         """mSA-II among the buffered flits holding S2 registers."""
-        candidates = {}
-        requests = defaultdict(list)
+        candidates = self._candidates
+        candidates.clear()
+        requests = self._requests
+        requests.clear()
         for ip in self.in_ports:
             if self.cfg.bypass and ip.la_now is not None:
                 continue  # the port's mSA-II mux selected the lookahead
@@ -309,10 +338,17 @@ class Router:
                 continue
             candidates[ip.port] = (flit, askable)
             for p in askable:
-                requests[p].append(ip.port)
-        winners = {
-            p: self.out_ports[p].arbiter.grant(reqs) for p, reqs in requests.items()
-        }
+                reqs = requests.get(p)
+                if reqs is None:
+                    requests[p] = [ip.port]
+                else:
+                    reqs.append(ip.port)
+        if not candidates:
+            return
+        winners = self._winners
+        winners.clear()
+        for p, reqs in requests.items():
+            winners[p] = self.out_ports[p].arbiter.grant(reqs)
         for in_port, (flit, askable) in candidates.items():
             grants = {}
             for port, subset in askable.items():
@@ -353,3 +389,25 @@ class Router:
             ip.occupancy() == 0 and not ip.st_ops and ip.latch is None
             for ip in self.in_ports
         )
+
+    def has_local_work(self):
+        """Whether any phase of the *next* cycle can do something here.
+
+        This is the self-re-arm predicate of the gated cycle loop (see
+        DESIGN.md §3): a router stays in the active set while it holds
+        buffered or latched flits, scheduled traversals, a lookahead
+        latch that ``receive`` must clear, or an S2 register.  External
+        events (channel deliveries) wake it independently.
+        """
+        for ip in self.in_ports:
+            if (
+                ip.st_ops
+                or ip.latch is not None
+                or ip.la_now is not None
+                or ip.s2_vc is not None
+            ):
+                return True
+            for vc in ip.vcs:
+                if vc.buffer:
+                    return True
+        return False

@@ -11,7 +11,15 @@ remaining destination set — no extra header state is needed.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.noc.ports import EAST, LOCAL, NORTH, SOUTH, WEST
+
+#: Bound on the route memo.  Routes are pure functions of
+#: ``(router, destinations, k)`` and the working set of any sweep is
+#: tiny (k**2 routers x the destination subsets that actually occur),
+#: so this is a capacity limit, not a tuning knob.
+_ROUTE_CACHE_SIZE = 1 << 16
 
 
 def coords(node, k):
@@ -40,7 +48,19 @@ def route_xy_tree(router, destinations, k):
     partition implements the XY tree: destinations in other columns
     continue along X; destinations in this column fork into Y; a
     destination at this router ejects to the NIC.
+
+    The result is memoized (the route is a pure function of the
+    arguments, and the hot loop recomputes it per flit per hop and per
+    lookahead) and therefore shared: callers must treat it as
+    immutable.
     """
+    return _route_xy_tree(router, frozenset(destinations), k)
+
+
+@lru_cache(maxsize=_ROUTE_CACHE_SIZE)
+def _route_xy_tree(router, destinations, k):
+    # raising inside the cached function keeps the diagnostic on the
+    # hot paths that call this directly (lru_cache never caches raises)
     if not destinations:
         raise ValueError("routing an empty destination set")
     x, y = coords(router, k)

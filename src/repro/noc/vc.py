@@ -17,7 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreditMsg:
     """A credit/free-VC signal returned upstream when a flit departs.
 
@@ -31,6 +31,8 @@ class CreditMsg:
 
 class InputVC:
     """One virtual channel of a router input port."""
+
+    __slots__ = ("index", "spec", "buffer")
 
     def __init__(self, index, spec):
         self.index = index

@@ -36,11 +36,16 @@ class BernoulliTraffic:
         self.identical_generators = identical_generators
         self._cfg = None
         self._rngs = {}
+        # cached per-bind constants for the per-cycle injection decision
+        self._packet_rate = injection_rate / mix.mean_flits_per_message
+        self._cum_weights = mix.cumulative_weights()
 
     def bind(self, config):
         """Called by the simulator to learn the network geometry."""
         self._cfg = config
         self._rngs = {}
+        self._packet_rate = self.injection_rate / self.mix.mean_flits_per_message
+        self._cum_weights = self.mix.cumulative_weights()
         for node in range(config.num_nodes):
             node_seed = self.seed if self.identical_generators else self.seed + node
             self._rngs[node] = PRBSGenerator(order=31, seed=node_seed)
@@ -54,14 +59,14 @@ class BernoulliTraffic:
         if self._cfg is None:
             raise RuntimeError("traffic source used before bind()")
         rng = self._rngs[node]
-        if rng.next_uniform() >= self.packet_rate:
-            return []
-        return [self._draw_message(rng, node)]
+        if rng.next_uniform() >= self._packet_rate:
+            return ()
+        return (self._draw_message(rng, node),)
 
     def _draw_message(self, rng, node):
         pick = rng.next_uniform()
         component = self.mix.components[-1]
-        for cumulative, c in self.mix.cumulative_weights():
+        for cumulative, c in self._cum_weights:
             if pick < cumulative:
                 component = c
                 break

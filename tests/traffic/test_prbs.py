@@ -81,6 +81,37 @@ class TestDraws:
         gen = PRBSGenerator(order=15, seed=2)
         assert all(0 <= gen.next_word(8) < 256 for _ in range(50))
 
+    @pytest.mark.parametrize("order,seed", [(31, 7), (31, 23), (23, 9), (15, 5)])
+    def test_fast_word_path_bit_exact(self, order, seed):
+        """The batched next_word must match the per-bit loop exactly.
+
+        The injection hot path relies on the two being interchangeable:
+        traffic traces (and therefore every simulation result) would
+        silently change if the shortcut diverged by a single bit.
+        """
+        fast = PRBSGenerator(order=order, seed=seed)
+        slow = PRBSGenerator(order=order, seed=seed)
+        for bits in (1, 3, 8, 24):
+            if bits > min(fast._taps):
+                continue
+            for _ in range(200):
+                word = 0
+                for _ in range(bits):
+                    word = (word << 1) | slow.next_bit()
+                assert fast.next_word(bits) == word
+            assert fast._state == slow._state
+
+    def test_wide_word_falls_back_to_loop(self):
+        # wider than the youngest tap: must still agree with bits
+        a = PRBSGenerator(order=7, seed=3)
+        b = PRBSGenerator(order=7, seed=3)
+        word = a.next_word(20)
+        bits = b.next_bits(20)
+        expect = 0
+        for bit in bits:
+            expect = (expect << 1) | bit
+        assert word == expect
+
 
 class TestTransitionDensity:
     def test_alternating_is_one(self):
