@@ -1,6 +1,12 @@
 """Closed-form analysis: theoretical mesh limits and chip comparisons."""
 
 from repro.analysis.limits import MeshLimits
+from repro.analysis.pattern_limits import (
+    channel_load_map,
+    max_channel_load,
+    max_ejection_indegree,
+    pattern_saturation_rate,
+)
 from repro.analysis.prototypes import (
     PROTOTYPES,
     ChipPrototype,
@@ -13,7 +19,11 @@ __all__ = [
     "ChipPrototype",
     "MeshLimits",
     "PROTOTYPES",
+    "channel_load_map",
     "find_saturation",
+    "max_channel_load",
+    "max_ejection_indegree",
+    "pattern_saturation_rate",
     "prototype_comparison",
     "saturation_throughput",
     "zero_load_latency",

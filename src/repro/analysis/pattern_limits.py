@@ -1,0 +1,145 @@
+"""Pattern-dependent throughput ceilings for a k x k XY mesh.
+
+Table 1 formalises the two channel-load bounds of the paper — the
+bisection links for spreading traffic and the ejection links for
+converging traffic — under uniform and broadcast workloads.  This
+module generalises :meth:`repro.traffic.mix.TrafficMix.
+saturation_injection_rate` to spatial
+:class:`~repro.traffic.patterns.DestinationPattern` workloads:
+
+* deterministic patterns (transpose, tornado, ...): the XY route of
+  every source-destination pair is known, so the binding channel load
+  is computed *exactly* by walking the routes and counting directed
+  link crossings, and the binding ejection load is the maximum
+  in-degree of the destination map;
+* hotspot: ejection-limited at the hot nodes, which receive the
+  concentrated fraction of every node's unicasts on a single
+  one-flit-per-cycle ejection link;
+* uniform (or no pattern): Table 1's bisection bound (kR/4 per link)
+  plus the mix's ejection bound, reproducing the existing behaviour.
+
+Broadcast components of a mix are pattern-independent (they always
+address all nodes); their k^2 R ejection load and k^2 R / 4 bisection
+load ride along in every bound.  For mixes combining broadcasts with a
+patterned unicast component, the two constraint families are evaluated
+independently and the minimum is returned — exact for single-kind
+mixes, mildly optimistic when the binding link would carry both kinds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.noc.routing import coords
+from repro.traffic.patterns import HotspotPattern, UniformPattern
+
+
+def _unicast_broadcast_flit_fractions(mix):
+    """Fractions of injected *flits* that are unicast vs broadcast."""
+    mean = mix.mean_flits_per_message
+    broadcast = sum(
+        c.weight * c.num_flits for c in mix.components if c.broadcast
+    )
+    unicast = sum(
+        c.weight * c.num_flits for c in mix.components if not c.broadcast
+    )
+    return unicast / mean, broadcast / mean
+
+
+def xy_route_links(src, dst, k):
+    """Directed router-to-router links of the XY route from src to dst."""
+    links = []
+    x, y = coords(src, k)
+    dx, dy = coords(dst, k)
+    while x != dx:
+        nx = x + (1 if dx > x else -1)
+        links.append(((x, y), (nx, y)))
+        x = nx
+    while y != dy:
+        ny = y + (1 if dy > y else -1)
+        links.append(((x, y), (x, ny)))
+        y = ny
+    return links
+
+
+def channel_load_map(pattern, k):
+    """Directed-link crossing counts of a deterministic pattern.
+
+    Each source contributes its full XY route once, so an entry of ``c``
+    means the link carries ``c * R_u`` flits/cycle at a per-node unicast
+    flit rate of ``R_u``.
+    """
+    if not pattern.deterministic:
+        raise ValueError(
+            f"channel loads need a deterministic pattern, not {pattern.name!r}"
+        )
+    loads = Counter()
+    for src in range(k * k):
+        for link in xy_route_links(src, pattern.dest(src, k), k):
+            loads[link] += 1
+    return loads
+
+
+def max_channel_load(pattern, k):
+    """The binding (maximum) directed-link load per unit unicast rate."""
+    loads = channel_load_map(pattern, k)
+    return max(loads.values()) if loads else 0
+
+
+def max_ejection_indegree(pattern, k):
+    """Sources converging on the most popular destination."""
+    if not pattern.deterministic:
+        raise ValueError(
+            f"ejection in-degree needs a deterministic pattern, "
+            f"not {pattern.name!r}"
+        )
+    indeg = Counter(pattern.dest(src, k) for src in range(k * k))
+    return max(indeg.values())
+
+
+def pattern_saturation_rate(mix, k, pattern=None):
+    """Offered-load ceiling (flits/node/cycle) for a patterned mix.
+
+    Generalises :meth:`TrafficMix.saturation_injection_rate`: returns
+    the smallest injection rate R at which some channel load reaches
+    one flit per cycle, for the given spatial pattern on a k x k XY
+    mesh.  ``pattern=None`` (or uniform) reproduces Table 1's uniform
+    bounds.
+    """
+    n = k * k
+    unicast, broadcast = _unicast_broadcast_flit_fractions(mix)
+    bounds = []
+
+    # --- ejection links: one flit per NIC per cycle ------------------
+    # every broadcast flit ejects at every node: n * broadcast per R
+    broadcast_ej = n * broadcast
+    if pattern is None or isinstance(pattern, UniformPattern):
+        unicast_ej = unicast  # spread evenly: one ejection per flit
+    elif isinstance(pattern, HotspotPattern):
+        # a hot node receives the concentrated fraction of every
+        # node's unicasts plus its share of the uniform background
+        concentration = n * pattern.fraction / len(pattern.hot_nodes)
+        unicast_ej = unicast * (concentration + (1.0 - pattern.fraction))
+    elif pattern.deterministic:
+        unicast_ej = unicast * max_ejection_indegree(pattern, k)
+    else:
+        unicast_ej = unicast
+    ejection = broadcast_ej + unicast_ej
+    if ejection > 0:
+        bounds.append(1.0 / ejection)
+
+    # --- mesh channels: one flit per directed link per cycle ---------
+    # broadcasts load each bisection link with k^2 R / 4 (Table 1)
+    broadcast_ch = broadcast * (n / 4.0)
+    if pattern is not None and pattern.deterministic:
+        unicast_ch = unicast * max_channel_load(pattern, k)
+    else:
+        # uniform (and the hotspot background): kR/4 per bisection link
+        unicast_ch = unicast * (k / 4.0)
+    channel = broadcast_ch + unicast_ch
+    if channel > 0:
+        bounds.append(1.0 / channel)
+
+    if not bounds:
+        raise ValueError("mix offers no load")
+    return min(bounds)

@@ -4,9 +4,29 @@ The paper defines the saturation point as the injection rate at which
 average latency reaches three times the no-load latency (footnote 1,
 Section 4.1), arguing most multi-threaded applications operate below
 it.  These helpers apply that rule to a latency-vs-rate sweep.
+
+A fully saturated measurement window can complete *zero* messages, in
+which case :func:`~repro.noc.metrics.summarize_window` reports
+``avg_latency = NaN``.  NaN compares False against any threshold, so a
+naive scan would silently skip exactly the most-saturated points; here
+NaN is treated as unbounded latency (the point is past saturation by
+definition).
 """
 
 from __future__ import annotations
+
+import math
+
+
+def _latency(point):
+    """The point's latency, with NaN mapped to +inf.
+
+    NaN means the window completed no messages at all — the network is
+    past saturation there, which for threshold purposes is unbounded
+    latency, not a missing sample.
+    """
+    latency = point.avg_latency
+    return float("inf") if math.isnan(latency) else latency
 
 
 def find_saturation(points, zero_load_latency=None, factor=3.0):
@@ -17,21 +37,29 @@ def find_saturation(points, zero_load_latency=None, factor=3.0):
     sorted by rate.  The zero-load latency defaults to the first
     point's latency.  Returns the interpolated rate at which latency
     crosses ``factor`` times the zero-load value, or ``None`` if the
-    curve never crosses within the sweep.
+    curve never crosses within the sweep.  Points whose window
+    completed no messages (NaN latency) count as above any threshold;
+    a crossing into such a point is reported at the point's own rate,
+    since there is no finite latency to interpolate against.
     """
     if not points:
         raise ValueError("empty sweep")
     pts = sorted(points, key=lambda p: p.injection_rate)
-    base = zero_load_latency if zero_load_latency is not None else pts[0].avg_latency
+    base = zero_load_latency if zero_load_latency is not None else _latency(pts[0])
+    if not math.isfinite(base):
+        # the sweep starts beyond saturation; the first point bounds it
+        return pts[0].injection_rate
     threshold = factor * base
     prev = None
     for p in pts:
-        if p.avg_latency >= threshold:
-            if prev is None:
+        latency = _latency(p)
+        if latency >= threshold:
+            if prev is None or not math.isfinite(latency):
                 return p.injection_rate
             # linear interpolation between the straddling points
+            # (prev's latency is finite: it was below the threshold)
             dr = p.injection_rate - prev.injection_rate
-            dl = p.avg_latency - prev.avg_latency
+            dl = latency - prev.avg_latency
             if dl <= 0:
                 return p.injection_rate
             return prev.injection_rate + dr * (threshold - prev.avg_latency) / dl

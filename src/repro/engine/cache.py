@@ -13,11 +13,29 @@ overwritten on the next store, so the cache can always be deleted (or
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 from pathlib import Path
 
 from repro.noc.metrics import WindowStats
+
+
+def _jsonify(value):
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dump`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+    (a saturated window has ``avg_latency = NaN``), which are not
+    standard JSON and choke strict parsers.
+    :meth:`WindowStats.from_dict` restores ``None`` back to NaN.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
 
 #: Bump when the cache entry layout or WindowStats semantics change;
 #: entries with a different version are ignored.
@@ -64,7 +82,7 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(entry, fh, sort_keys=True)
+                json.dump(_jsonify(entry), fh, sort_keys=True, allow_nan=False)
             os.replace(tmp, self.path_for(job))
         except BaseException:
             try:

@@ -37,6 +37,7 @@ from repro.harness import experiments
 from repro.harness.sweep import default_rates, run_sweep
 from repro.harness.tables import format_series
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
+from repro.traffic.patterns import HotspotPattern, make_pattern, pattern_names
 
 CONFIGS = {
     "proposed": proposed_network,
@@ -92,6 +93,62 @@ def _parse_rates(text):
     if not rates:
         raise argparse.ArgumentTypeError("at least one rate is required")
     return rates
+
+
+def _parse_nodes(text):
+    try:
+        nodes = tuple(int(n) for n in text.split(",") if n.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"hot nodes must be comma-separated node ids, got {text!r}"
+        ) from None
+    if not nodes:
+        raise argparse.ArgumentTypeError("at least one hot node is required")
+    return nodes
+
+
+def _add_pattern_args(parser):
+    group = parser.add_argument_group("spatial traffic pattern")
+    group.add_argument(
+        "--pattern",
+        choices=pattern_names(),
+        default="uniform",
+        help="unicast destination pattern (default: uniform)",
+    )
+    group.add_argument(
+        "--hotspot",
+        type=_parse_nodes,
+        default=None,
+        metavar="N1,N2,...",
+        help="hot node ids (requires --pattern hotspot)",
+    )
+    group.add_argument(
+        "--hotspot-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of unicasts aimed at the hot nodes (default: 0.5)",
+    )
+
+
+def _make_traffic_pattern(args):
+    """The DestinationPattern selected by the CLI flags (None = uniform)."""
+    if args.pattern == "hotspot":
+        if args.hotspot is None:
+            raise ValueError(
+                "--pattern hotspot needs --hotspot N1,N2,... to name "
+                "the hot nodes"
+            )
+        fraction = 0.5 if args.hotspot_fraction is None else args.hotspot_fraction
+        return HotspotPattern(args.hotspot, fraction)
+    if args.hotspot is not None or args.hotspot_fraction is not None:
+        raise ValueError(
+            f"--hotspot/--hotspot-fraction only apply to --pattern hotspot, "
+            f"not {args.pattern!r}"
+        )
+    if args.pattern == "uniform":
+        return None
+    return make_pattern(args.pattern)
 
 
 def _add_engine_args(parser):
@@ -170,8 +227,13 @@ def _print_sweep(points, title):
 def cmd_sweep(args):
     config = CONFIGS[args.config]()
     mix = MIXES[args.mix]
+    pattern = _make_traffic_pattern(args)
     rates = args.rates or default_rates(
-        mix, config.num_nodes, points=args.points, headroom=args.headroom
+        mix,
+        config.num_nodes,
+        points=args.points,
+        headroom=args.headroom,
+        pattern=pattern,
     )
     executor = _make_executor(args)
     points = run_sweep(
@@ -184,10 +246,12 @@ def cmd_sweep(args):
         warmup=args.warmup,
         measure=args.measure,
         drain=args.drain,
+        pattern=pattern,
     )
     _print_sweep(
         {args.config: points},
-        f"{args.config} / {mix.name} latency-throughput sweep",
+        f"{args.config} / {mix.name} / {args.pattern} "
+        f"latency-throughput sweep",
     )
     _print_engine_summary(executor)
     return 0
@@ -196,7 +260,11 @@ def cmd_sweep(args):
 def cmd_figure(args):
     if args.name in SWEEP_FIGURES:
         executor = _make_executor(args)
-        kwargs = dict(seed=args.seed, executor=executor)
+        kwargs = dict(
+            seed=args.seed,
+            executor=executor,
+            pattern=_make_traffic_pattern(args),
+        )
         if args.rates is not None:
             kwargs["rates"] = args.rates
         for attr in ("warmup", "measure", "drain"):
@@ -226,6 +294,9 @@ def cmd_figure(args):
             or args.measure is not None
             or args.drain is not None
             or args.seed != DEFAULT_SEED
+            or args.pattern != "uniform"
+            or args.hotspot is not None
+            or args.hotspot_fraction is not None
         )
         if engine_flags or window_flags:
             print(
@@ -288,6 +359,7 @@ def build_parser():
         default=1.15,
         help="auto-grid top as a multiple of the mix ceiling",
     )
+    _add_pattern_args(sweep)
     _add_cycle_args(sweep, defaults=True)
     _add_engine_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -305,6 +377,7 @@ def build_parser():
         metavar="R1,R2,...",
         help="override the sweep grid (fig5/fig13 only)",
     )
+    _add_pattern_args(figure)
     _add_cycle_args(figure, defaults=False)
     _add_engine_args(figure)
     figure.set_defaults(func=cmd_figure)

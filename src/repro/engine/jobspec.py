@@ -19,6 +19,7 @@ from repro.noc.config import NocConfig
 from repro.noc.simulator import Simulator
 from repro.traffic.generators import BernoulliTraffic
 from repro.traffic.mix import TrafficMix
+from repro.traffic.patterns import UniformPattern, pattern_from_dict
 
 #: The paper's Section 4.1 measurement methodology; the single source
 #: for every layer that exposes window defaults (JobSpec, run_point,
@@ -42,6 +43,10 @@ class JobSpec:
     drain: int = DEFAULT_DRAIN
     identical_generators: bool = False
     name: str = ""
+    #: spatial destination pattern for unicasts; ``None`` means the
+    #: paper's uniform-random default (and an explicitly-passed
+    #: UniformPattern is normalised to None, so equal jobs stay equal)
+    pattern: object = None
 
     def __post_init__(self):
         if self.rate < 0 or self.rate > 1:
@@ -49,12 +54,21 @@ class JobSpec:
         for attr in ("warmup", "measure", "drain"):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} cycle count must be non-negative")
+        if self.pattern == UniformPattern():
+            object.__setattr__(self, "pattern", None)
+        if self.pattern is not None:
+            self.pattern.validate(self.config.k)
 
     # ------------------------------------------------------------ identity
 
     def to_dict(self):
-        """A JSON-safe representation that :meth:`from_dict` inverts."""
-        return {
+        """A JSON-safe representation that :meth:`from_dict` inverts.
+
+        The ``pattern`` key is omitted for the uniform default so that
+        pre-pattern cache keys (and on-disk ``.repro_cache/`` entries)
+        stay valid byte for byte.
+        """
+        data = {
             "config": self.config.to_dict(),
             "mix": self.mix.to_dict(),
             "rate": self.rate,
@@ -65,9 +79,13 @@ class JobSpec:
             "identical_generators": self.identical_generators,
             "name": self.name,
         }
+        if self.pattern is not None:
+            data["pattern"] = self.pattern.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data):
+        pattern = data.get("pattern")
         return cls(
             config=NocConfig.from_dict(data["config"]),
             mix=TrafficMix.from_dict(data["mix"]),
@@ -78,6 +96,7 @@ class JobSpec:
             drain=int(data["drain"]),
             identical_generators=bool(data["identical_generators"]),
             name=data["name"],
+            pattern=pattern_from_dict(pattern) if pattern is not None else None,
         )
 
     def canonical_json(self):
@@ -100,6 +119,7 @@ class JobSpec:
             self.rate,
             seed=self.seed,
             identical_generators=self.identical_generators,
+            pattern=self.pattern,
         )
         sim = Simulator(self.config, traffic, name=self.name)
         return sim.run_experiment(

@@ -30,7 +30,7 @@ from repro.engine import (
     DEFAULT_SEED,
     DEFAULT_WARMUP,
 )
-from repro.harness.sweep import run_sweep_batch
+from repro.harness.sweep import default_rates, run_sweep_batch
 from repro.noc.metrics import aggregate
 from repro.noc.simulator import Simulator
 from repro.physical.area import AreaModel
@@ -110,17 +110,26 @@ def fig5_mixed_traffic(
     drain=DEFAULT_DRAIN,
     seed=DEFAULT_SEED,
     executor=None,
+    pattern=None,
 ):
     """Fig. 5: latency vs injection for mixed traffic at 1 GHz.
 
     Returns the proposed and baseline sweeps plus the theoretical
     latency and throughput limit lines.  ``executor`` (an
     :class:`~repro.engine.Executor`) selects the execution backend and
-    result cache; the default is serial and uncached.
+    result cache; the default is serial and uncached.  ``pattern``
+    replaces the paper's uniform unicast destinations with a spatial
+    :class:`~repro.traffic.patterns.DestinationPattern` (the limit
+    lines are only exact for the uniform default).
     """
     lim = MeshLimits(4)
     if rates is None:
-        rates = [0.02, 0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.21]
+        if pattern is None:
+            rates = [0.02, 0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.21]
+        else:
+            # adversarial patterns saturate well below the uniform
+            # grid; bracket the pattern's own ceiling instead
+            rates = default_rates(MIXED_TRAFFIC, 16, pattern=pattern)
     sweeps = _paired_sweeps(
         MIXED_TRAFFIC,
         rates,
@@ -129,6 +138,7 @@ def fig5_mixed_traffic(
         measure=measure,
         drain=drain,
         seed=seed,
+        pattern=pattern,
     )
     proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     weights = {c.name: c.weight for c in MIXED_TRAFFIC.components}
@@ -155,8 +165,15 @@ def fig13_broadcast_traffic(
     drain=DEFAULT_DRAIN,
     seed=DEFAULT_SEED,
     executor=None,
+    pattern=None,
 ):
-    """Fig. 13 / Appendix D: broadcast-only latency vs injection."""
+    """Fig. 13 / Appendix D: broadcast-only latency vs injection.
+
+    ``pattern`` is accepted for CLI symmetry but *ignored*: broadcast
+    messages always address every node and this mix has no unicast
+    component, so a pattern cannot change a single flit — honouring it
+    would only fork the cache keys and re-simulate identical results.
+    """
     lim = MeshLimits(4)
     if rates is None:
         rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.072]

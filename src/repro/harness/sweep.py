@@ -9,6 +9,8 @@ the historical ``for rate in rates`` loop.
 
 from __future__ import annotations
 
+import math
+
 from repro.engine import (
     DEFAULT_DRAIN,
     DEFAULT_MEASURE,
@@ -29,6 +31,7 @@ def run_point(
     drain=DEFAULT_DRAIN,
     identical_generators=False,
     name="",
+    pattern=None,
 ):
     """Simulate one operating point; returns WindowStats."""
     return JobSpec(
@@ -41,6 +44,7 @@ def run_point(
         drain=drain,
         identical_generators=identical_generators,
         name=name,
+        pattern=pattern,
     ).run()
 
 
@@ -85,8 +89,23 @@ def run_sweep_batch(named_configs, mix, rates, executor=None, **kwargs):
     }
 
 
-def default_rates(mix, num_nodes, points=8, headroom=1.15):
-    """A sensible rate grid from near-zero load past the mix's ceiling."""
-    ceiling = mix.saturation_injection_rate(num_nodes)
+def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None):
+    """A sensible rate grid from near-zero load past the mix's ceiling.
+
+    With a spatial ``pattern``, the ceiling comes from the
+    pattern-aware bound of :func:`repro.analysis.pattern_limits.
+    pattern_saturation_rate` (e.g. the bisection-bandwidth bound of a
+    permutation pattern), so adversarial patterns get a grid that
+    actually brackets their much lower saturation point.
+    """
+    if pattern is None:
+        ceiling = mix.saturation_injection_rate(num_nodes)
+    else:
+        from repro.analysis.pattern_limits import pattern_saturation_rate
+
+        k = math.isqrt(num_nodes)
+        if k * k != num_nodes:
+            raise ValueError(f"{num_nodes} nodes is not a square mesh")
+        ceiling = pattern_saturation_rate(mix, k, pattern)
     top = min(1.0, ceiling * headroom)
     return [top * (i + 1) / points for i in range(points)]

@@ -28,6 +28,8 @@ stepping produce byte-identical traces.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.noc.channel import Channel, MultiChannel
 from repro.noc.metrics import ActivityCounters, aggregate
 from repro.noc.nic import Nic
@@ -60,6 +62,12 @@ class MeshNetwork:
         self.router_stats = [ActivityCounters() for _ in range(config.num_nodes)]
         self.nic_stats = [ActivityCounters() for _ in range(config.num_nodes)]
         self.messages = []
+        #: per-simulation message/packet id counters, shared by all the
+        #: NICs of this network so ids are network-unique yet every
+        #: fresh network numbers from 0 (process-global counters would
+        #: leak state across back-to-back simulations in one worker)
+        self.message_ids = itertools.count()
+        self.packet_ids = itertools.count()
         #: cycles stepped so far; the single network-level cycle counter
         #: that replaces per-component ``stats.cycles`` ticking (folded
         #: back into the aggregates by :meth:`total_router_activity`).

@@ -118,7 +118,19 @@ class WindowStats:
 
     @classmethod
     def from_dict(cls, data):
-        return cls(**{f.name: data[f.name] for f in fields(cls)})
+        kwargs = {f.name: data[f.name] for f in fields(cls)}
+        # the result cache stores non-finite floats as null (strict
+        # JSON has no NaN token); restore them on the way back in
+        for name in (
+            "injection_rate",
+            "avg_latency",
+            "throughput_flits_per_cycle",
+            "throughput_gbps",
+            "bypass_fraction",
+        ):
+            if kwargs[name] is None:
+                kwargs[name] = float("nan")
+        return cls(**kwargs)
 
 
 def message_kind(message):

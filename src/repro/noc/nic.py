@@ -22,9 +22,6 @@ from repro.noc.flit import Message, MessageClass, Packet
 from repro.noc.lookahead import Lookahead
 from repro.noc.vc import CreditMsg, OutputVCTracker
 
-_message_ids = itertools.count()
-_packet_ids = itertools.count()
-
 
 class Nic:
     """One network interface: injection pipeline plus ejection sink."""
@@ -49,6 +46,11 @@ class Nic:
         self.link_in = None
         self.credit_out = None
         self._source = None
+        # standalone fallback id counters; a NIC inside a MeshNetwork
+        # shares the network's per-simulation counters instead, so ids
+        # are network-unique and every simulation starts from 0
+        self._local_message_ids = None
+        self._local_packet_ids = None
 
     @property
     def source(self):
@@ -71,11 +73,23 @@ class Nic:
     # message admission
     # ------------------------------------------------------------------
 
+    def _id_counters(self):
+        """The (message, packet) id counters: the owning network's, or
+        lazily-created local ones for a standalone NIC."""
+        net = self.network
+        if net is not None:
+            return net.message_ids, net.packet_ids
+        if self._local_message_ids is None:
+            self._local_message_ids = itertools.count()
+            self._local_packet_ids = itertools.count()
+        return self._local_message_ids, self._local_packet_ids
+
     def submit(self, spec, cycle):
         """Accept a core message and enqueue its flits for injection."""
+        message_ids, packet_ids = self._id_counters()
         destinations = frozenset(spec.destinations)
         message = Message(
-            mid=next(_message_ids),
+            mid=next(message_ids),
             src=self.node,
             destinations=destinations,
             mclass=spec.mclass,
@@ -89,7 +103,7 @@ class Nic:
             packet_dests = [destinations]
         for dests in packet_dests:
             packet = Packet(
-                pid=next(_packet_ids),
+                pid=next(packet_ids),
                 message=message,
                 src=self.node,
                 destinations=dests,

@@ -8,17 +8,43 @@ from repro.traffic.mix import (
     TrafficMix,
     TrafficComponent,
 )
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    DestinationPattern,
+    HotspotPattern,
+    NeighborPattern,
+    ShufflePattern,
+    TornadoPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+    pattern_from_dict,
+    pattern_names,
+)
 from repro.traffic.prbs import PRBSGenerator
 from repro.traffic.spec import MessageSpec
 
 __all__ = [
     "BROADCAST_ONLY",
     "BernoulliTraffic",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "DestinationPattern",
+    "HotspotPattern",
     "MIXED_TRAFFIC",
     "MessageSpec",
+    "NeighborPattern",
     "PRBSGenerator",
+    "ShufflePattern",
     "SyntheticBurst",
+    "TornadoPattern",
     "TrafficComponent",
     "TrafficMix",
+    "TransposePattern",
     "UNIFORM_UNICAST",
+    "UniformPattern",
+    "make_pattern",
+    "pattern_from_dict",
+    "pattern_names",
 ]

@@ -3,8 +3,10 @@
 :class:`BernoulliTraffic` is the paper's workload: every NIC injects
 flits as a Bernoulli process of rate R (flits/node/cycle), drawing each
 message from a :class:`~repro.traffic.mix.TrafficMix`, with unicast
-destinations uniformly distributed over the other nodes and broadcasts
-addressed to every node.
+destinations chosen by a
+:class:`~repro.traffic.patterns.DestinationPattern` (uniform over the
+other nodes by default, matching the paper) and broadcasts addressed to
+every node.
 
 ``identical_generators=True`` reproduces the fabricated chip's
 artifact: all NICs run the *same* PRBS stream, so their injection
@@ -15,6 +17,7 @@ streams) matches the paper's corrected RTL simulations.
 
 from __future__ import annotations
 
+from repro.traffic.patterns import UniformPattern
 from repro.traffic.prbs import PRBSGenerator
 from repro.traffic.spec import MessageSpec
 
@@ -22,7 +25,14 @@ from repro.traffic.spec import MessageSpec
 class BernoulliTraffic:
     """Bernoulli packet injection of a traffic mix at a given flit rate."""
 
-    def __init__(self, mix, injection_rate, seed=1, identical_generators=False):
+    def __init__(
+        self,
+        mix,
+        injection_rate,
+        seed=1,
+        identical_generators=False,
+        pattern=None,
+    ):
         if injection_rate < 0:
             raise ValueError("injection rate must be non-negative")
         if injection_rate > 1:
@@ -34,18 +44,32 @@ class BernoulliTraffic:
         self.injection_rate = injection_rate
         self.seed = seed
         self.identical_generators = identical_generators
+        self.pattern = pattern if pattern is not None else UniformPattern()
         self._cfg = None
         self._rngs = {}
         # cached per-bind constants for the per-cycle injection decision
         self._packet_rate = injection_rate / mix.mean_flits_per_message
         self._cum_weights = mix.cumulative_weights()
+        self._dest_table = None
 
     def bind(self, config):
         """Called by the simulator to learn the network geometry."""
+        self.pattern.validate(config.k)
         self._cfg = config
         self._rngs = {}
         self._packet_rate = self.injection_rate / self.mix.mean_flits_per_message
         self._cum_weights = self.mix.cumulative_weights()
+        # deterministic patterns are pure src->dest maps: precompute the
+        # destination sets once (frozensets are immutable, so sharing
+        # one per source across all its MessageSpecs is safe) and the
+        # hot path becomes a list index
+        if self.pattern.deterministic:
+            self._dest_table = [
+                frozenset([self.pattern.dest(node, config.k)])
+                for node in range(config.num_nodes)
+            ]
+        else:
+            self._dest_table = None
         for node in range(config.num_nodes):
             node_seed = self.seed if self.identical_generators else self.seed + node
             self._rngs[node] = PRBSGenerator(order=31, seed=node_seed)
@@ -72,9 +96,12 @@ class BernoulliTraffic:
                 break
         if component.broadcast:
             dests = frozenset(range(self._cfg.num_nodes))
+        elif self._dest_table is not None:
+            dests = self._dest_table[node]
         else:
-            other = rng.next_below(self._cfg.num_nodes - 1)
-            dest = other if other < node else other + 1
+            dest = self.pattern.pick(
+                rng, node, self._cfg.k, self._cfg.num_nodes
+            )
             dests = frozenset([dest])
         return MessageSpec(dests, component.mclass, component.num_flits)
 
@@ -92,9 +119,12 @@ class SyntheticBurst:
 
     def __init__(self, schedule):
         self.schedule = dict(schedule)
+        self._cfg = None
 
     def bind(self, config):
         self._cfg = config
 
     def generate(self, cycle, node):
+        if self._cfg is None:
+            raise RuntimeError("traffic source used before bind()")
         return list(self.schedule.get((cycle, node), []))

@@ -1,0 +1,290 @@
+"""Spatial destination patterns for unicast traffic.
+
+The paper's evaluation (Section 4.1) uses uniform-random destinations
+only; a :class:`DestinationPattern` generalises the *spatial* axis of
+the workload while leaving the *temporal* axis (the Bernoulli process
+and its PRBS draws) untouched.  :class:`~repro.traffic.generators.
+BernoulliTraffic` delegates every unicast destination choice to its
+pattern; broadcast components always address all nodes and bypass the
+pattern entirely.
+
+PRBS-draw compatibility contract
+--------------------------------
+:class:`UniformPattern` consumes *exactly* the draw sequence of the
+historical inline code — one ``next_below(num_nodes - 1)`` per unicast
+destination, mapped around the source — so a sweep with the default
+pattern is byte-identical to every pre-pattern result (and hits the
+same ``.repro_cache/`` entries).  Deterministic patterns consume *no*
+draws — the destination is a pure function of the source — so any two
+deterministic patterns at the same seed share identical injection and
+mix-selection streams (they differ only spatially); relative to a
+*uniform* run, however, the streams diverge after a node's first
+unicast, because uniform consumes one extra word per destination.
+:class:`HotspotPattern` draws two words per destination (the
+hot/background decision and the index).
+
+Deterministic patterns may map a source onto itself (e.g. the diagonal
+of ``transpose``); such messages are injected normally and eject
+through the source's own router after the NIC-router-NIC traversal,
+keeping the offered load exactly ``R`` at every node.
+
+All patterns are frozen dataclasses: hashable values that serialize
+through ``to_dict`` / :func:`pattern_from_dict`, which is what lets
+:class:`~repro.engine.jobspec.JobSpec` hash them into cache keys and
+ship them across process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.routing import coords, node_at
+
+#: name -> pattern class; populated by :func:`_register`.
+_REGISTRY = {}
+
+
+def _register(cls):
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def pattern_names():
+    """The registered pattern names, sorted (CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+def make_pattern(name, **kwargs):
+    """Instantiate a registered pattern by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown destination pattern {name!r}; "
+            f"choose from {pattern_names()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def pattern_from_dict(data):
+    """Invert ``to_dict`` for any registered pattern."""
+    try:
+        name = data["name"]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a serialized pattern: {data!r}") from None
+    kwargs = {k: v for k, v in data.items() if k != "name"}
+    if "hot_nodes" in kwargs:
+        kwargs["hot_nodes"] = tuple(int(n) for n in kwargs["hot_nodes"])
+    if "fraction" in kwargs:
+        kwargs["fraction"] = float(kwargs["fraction"])
+    return make_pattern(name, **kwargs)
+
+
+def _require_power_of_two(name, num_nodes):
+    if num_nodes & (num_nodes - 1):
+        raise ValueError(
+            f"the {name} pattern permutes node-index bits and needs a "
+            f"power-of-two node count, not {num_nodes}"
+        )
+
+
+@dataclass(frozen=True)
+class DestinationPattern:
+    """Maps a source node (plus optional PRBS draws) to a destination.
+
+    Subclasses either override :meth:`dest` (deterministic patterns —
+    a pure function of the source, no draws) or :meth:`pick`
+    (stochastic patterns, which consume draws from the per-node PRBS
+    stream).
+    """
+
+    #: registry key; also the ``--pattern`` CLI spelling
+    name = None
+    #: True when :meth:`dest` fully determines the destination
+    deterministic = False
+
+    def validate(self, k):
+        """Raise ValueError if the pattern cannot run on a k x k mesh."""
+
+    def dest(self, src, k):
+        """Destination of ``src`` for deterministic patterns."""
+        raise NotImplementedError(f"{self.name} is not deterministic")
+
+    def pick(self, rng, src, k, num_nodes):
+        """Draw a destination for ``src`` (default: the deterministic map)."""
+        return self.dest(src, k)
+
+    def to_dict(self):
+        """A JSON-safe representation that :func:`pattern_from_dict` inverts."""
+        return {"name": self.name}
+
+
+@_register
+@dataclass(frozen=True)
+class UniformPattern(DestinationPattern):
+    """Uniform-random over the other nodes — the paper's workload.
+
+    ``pick`` is the historical inline draw, verbatim: one
+    ``next_below(num_nodes - 1)`` word mapped around the source, so the
+    default pattern replays byte-identical PRBS sequences.
+    """
+
+    name = "uniform"
+
+    def pick(self, rng, src, k, num_nodes):
+        other = rng.next_below(num_nodes - 1)
+        return other if other < src else other + 1
+
+
+@_register
+@dataclass(frozen=True)
+class TransposePattern(DestinationPattern):
+    """Matrix transpose: (x, y) -> (y, x).
+
+    Adversarial for XY routing: every X-phase in row y targets column
+    y, so the row's edge link carries k-1 overlapping flows and the
+    mesh saturates near R = 1/(k-1).
+    """
+
+    name = "transpose"
+    deterministic = True
+
+    def dest(self, src, k):
+        x, y = coords(src, k)
+        return node_at(y, x, k)
+
+
+@_register
+@dataclass(frozen=True)
+class BitComplementPattern(DestinationPattern):
+    """Complement every node-index bit: dest = ~src (mod num_nodes)."""
+
+    name = "bit_complement"
+    deterministic = True
+
+    def validate(self, k):
+        _require_power_of_two(self.name, k * k)
+
+    def dest(self, src, k):
+        return src ^ (k * k - 1)
+
+
+@_register
+@dataclass(frozen=True)
+class BitReversalPattern(DestinationPattern):
+    """Reverse the node-index bits (FFT-style permutation)."""
+
+    name = "bit_reversal"
+    deterministic = True
+
+    def validate(self, k):
+        _require_power_of_two(self.name, k * k)
+
+    def dest(self, src, k):
+        bits = (k * k - 1).bit_length()
+        out = 0
+        for i in range(bits):
+            out = (out << 1) | ((src >> i) & 1)
+        return out
+
+
+@_register
+@dataclass(frozen=True)
+class ShufflePattern(DestinationPattern):
+    """Perfect shuffle: rotate the node-index bits left by one."""
+
+    name = "shuffle"
+    deterministic = True
+
+    def validate(self, k):
+        _require_power_of_two(self.name, k * k)
+
+    def dest(self, src, k):
+        n = k * k
+        bits = (n - 1).bit_length()
+        return ((src << 1) | (src >> (bits - 1))) & (n - 1)
+
+
+@_register
+@dataclass(frozen=True)
+class TornadoPattern(DestinationPattern):
+    """Half-span rotation in each dimension: c -> (c + k//2) mod k.
+
+    The torus-adversarial tornado adapted to a mesh: the wrapped pairs
+    have no short way around, so the central row/column links carry
+    k//2 overlapping flows in each direction.
+    """
+
+    name = "tornado"
+    deterministic = True
+
+    def dest(self, src, k):
+        shift = max(1, k // 2)
+        x, y = coords(src, k)
+        return node_at((x + shift) % k, (y + shift) % k, k)
+
+
+@_register
+@dataclass(frozen=True)
+class NeighborPattern(DestinationPattern):
+    """Nearest neighbour in X: (x, y) -> ((x+1) mod k, y).
+
+    A benign, mostly-one-hop pattern (the wrap source crosses its whole
+    row); the low-stress counterpoint to transpose/tornado.
+    """
+
+    name = "neighbor"
+    deterministic = True
+
+    def dest(self, src, k):
+        x, y = coords(src, k)
+        return node_at((x + 1) % k, y, k)
+
+
+@_register
+@dataclass(frozen=True)
+class HotspotPattern(DestinationPattern):
+    """Concentrate a fraction of unicasts on a few hot nodes.
+
+    With probability ``fraction`` the destination is drawn uniformly
+    from ``hot_nodes`` (self-delivery allowed when the source is hot);
+    otherwise it is drawn like :class:`UniformPattern` over the other
+    nodes.  Two PRBS words per destination.
+    """
+
+    name = "hotspot"
+    hot_nodes: tuple = field(default=(0,))
+    fraction: float = 0.5
+
+    def __post_init__(self):
+        object.__setattr__(self, "hot_nodes", tuple(self.hot_nodes))
+        if not self.hot_nodes:
+            raise ValueError("hotspot needs at least one hot node")
+        if len(set(self.hot_nodes)) != len(self.hot_nodes):
+            raise ValueError("hot nodes must be distinct")
+        if any(n < 0 for n in self.hot_nodes):
+            raise ValueError("hot nodes must be non-negative node ids")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in (0, 1]")
+
+    def validate(self, k):
+        num_nodes = k * k
+        bad = [n for n in self.hot_nodes if n >= num_nodes]
+        if bad:
+            raise ValueError(
+                f"hot nodes {bad} outside the {k}x{k} mesh "
+                f"(node ids 0..{num_nodes - 1})"
+            )
+
+    def pick(self, rng, src, k, num_nodes):
+        if rng.next_uniform() < self.fraction:
+            return self.hot_nodes[rng.next_below(len(self.hot_nodes))]
+        other = rng.next_below(num_nodes - 1)
+        return other if other < src else other + 1
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "hot_nodes": list(self.hot_nodes),
+            "fraction": self.fraction,
+        }

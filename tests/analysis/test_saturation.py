@@ -1,0 +1,88 @@
+"""Saturation detection: interpolation, NaN windows and edge cases."""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.saturation import find_saturation, saturation_throughput
+
+NAN = float("nan")
+
+
+@dataclass
+class Point:
+    injection_rate: float
+    avg_latency: float
+    throughput_gbps: float = 0.0
+
+
+def curve(*pairs):
+    return [Point(r, lat, thr) for r, lat, thr in pairs]
+
+
+class TestFindSaturation:
+    def test_interpolates_between_straddling_points(self):
+        pts = curve((0.1, 10.0, 0), (0.2, 20.0, 0), (0.3, 40.0, 0))
+        # threshold 3 * 10 = 30, crossed halfway between 0.2 and 0.3
+        assert find_saturation(pts) == pytest.approx(0.25)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            find_saturation([])
+
+    def test_never_crossing_returns_none(self):
+        pts = curve((0.1, 10.0, 0), (0.2, 12.0, 0), (0.3, 14.0, 0))
+        assert find_saturation(pts) is None
+
+    def test_first_point_over_threshold(self):
+        pts = curve((0.1, 50.0, 0), (0.2, 60.0, 0))
+        assert find_saturation(pts, zero_load_latency=10.0) == 0.1
+
+    def test_nan_point_counts_as_saturated(self):
+        # a fully saturated window completes zero messages and reports
+        # NaN latency; NaN >= threshold is False, so the old scan
+        # skipped exactly the most-saturated points
+        pts = curve((0.1, 10.0, 0), (0.2, 12.0, 0), (0.3, NAN, 0))
+        assert find_saturation(pts) == 0.3
+
+    def test_nan_tail_does_not_hide_finite_crossing(self):
+        pts = curve((0.1, 10.0, 0), (0.2, 20.0, 0), (0.3, 40.0, 0), (0.4, NAN, 0))
+        assert find_saturation(pts) == pytest.approx(0.25)
+
+    def test_all_nan_sweep_saturates_at_first_point(self):
+        pts = curve((0.1, NAN, 0), (0.2, NAN, 0))
+        assert find_saturation(pts) == 0.1
+
+    def test_nan_zero_load_base(self):
+        pts = curve((0.1, NAN, 0), (0.2, NAN, 0))
+        assert find_saturation(pts, zero_load_latency=NAN) == 0.1
+
+    def test_unsorted_input_is_sorted_first(self):
+        pts = curve((0.3, 40.0, 0), (0.1, 10.0, 0), (0.2, 20.0, 0))
+        assert find_saturation(pts) == pytest.approx(0.25)
+
+
+class TestSaturationThroughput:
+    def test_interpolates_throughput_at_crossing(self):
+        pts = curve((0.1, 10.0, 100.0), (0.2, 20.0, 200.0), (0.3, 40.0, 300.0))
+        # saturation at rate 0.25 -> halfway between 200 and 300 Gb/s
+        assert saturation_throughput(pts) == pytest.approx(250.0)
+
+    def test_never_crossing_falls_back_to_max(self):
+        pts = curve((0.1, 10.0, 100.0), (0.2, 12.0, 220.0), (0.3, 14.0, 180.0))
+        assert saturation_throughput(pts) == 220.0
+
+    def test_nan_point_reports_its_own_throughput(self):
+        # the NaN point marks saturation; delivered throughput there is
+        # still a real measurement (flits ejected / cycles)
+        pts = curve((0.1, 10.0, 100.0), (0.2, 12.0, 200.0), (0.3, NAN, 240.0))
+        assert saturation_throughput(pts) == 240.0
+
+    def test_all_nan_sweep_uses_first_point(self):
+        pts = curve((0.1, NAN, 90.0), (0.2, NAN, 95.0))
+        assert saturation_throughput(pts) == 90.0
+
+    def test_result_is_finite_for_nan_windows(self):
+        pts = curve((0.1, 10.0, 100.0), (0.2, NAN, 150.0))
+        assert math.isfinite(saturation_throughput(pts))

@@ -1,6 +1,8 @@
 """ResultCache: persistence, corruption tolerance, stats and clearing."""
 
+import dataclasses
 import json
+import math
 
 from repro.core.presets import proposed_network
 from repro.engine import CACHE_VERSION, JobSpec, ResultCache
@@ -79,6 +81,27 @@ def test_clear_sweeps_orphaned_tmp_files(tmp_path):
     assert cache.clear() == 1
     assert not orphan.exists()
     assert list(cache.root.iterdir()) == []
+
+
+def test_nan_latency_serializes_as_strict_json(tmp_path):
+    # a fully saturated window has avg_latency = NaN; json.dump would
+    # happily emit a bare NaN token, which is not standard JSON
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    stats = dataclasses.replace(job.run(), avg_latency=float("nan"))
+    cache.put(job, stats)
+    text = cache.path_for(job).read_text()
+    assert "NaN" not in text
+    # strict parsers (which reject the NaN/Infinity extension) accept it
+
+    def reject(token):
+        raise AssertionError(f"non-strict JSON token {token!r}")
+
+    entry = json.loads(text, parse_constant=reject)
+    assert entry["stats"]["avg_latency"] is None
+    restored = cache.get(job)
+    assert math.isnan(restored.avg_latency)
+    assert restored.messages_measured == stats.messages_measured
 
 
 def test_stats_and_clear(tmp_path):

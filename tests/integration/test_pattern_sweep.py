@@ -1,0 +1,253 @@
+"""Spatial-pattern sweeps, end to end.
+
+Covers the acceptance criteria of the pattern subsystem:
+
+* the ``uniform`` default is byte-identical to the pre-pattern
+  ``BernoulliTraffic`` (golden WindowStats captured on the fig5 4x4
+  config before the refactor);
+* adversarial permutations (transpose, tornado) saturate measurably
+  below uniform on a 4x4 mesh, in the order the channel-load analysis
+  of :mod:`repro.analysis.pattern_limits` predicts;
+* every pattern runs end to end through ``python -m repro sweep
+  --pattern ...``.
+"""
+
+import pytest
+
+from repro.analysis.pattern_limits import pattern_saturation_rate
+from repro.analysis.saturation import find_saturation
+from repro.core.presets import proposed_network
+from repro.engine import cli
+from repro.engine.jobspec import JobSpec
+from repro.traffic.mix import MIXED_TRAFFIC, UNIFORM_UNICAST
+from repro.traffic.patterns import UniformPattern, make_pattern
+
+#: WindowStats of the pre-pattern BernoulliTraffic on the fig5 4x4
+#: proposed config (seed 7, warmup 300, measure 1500, drain 1500),
+#: captured at the commit before the pattern refactor.  The uniform
+#: path must keep consuming the identical PRBS draw sequence.
+GOLDEN_FIG5_MIXED_011 = {
+    "avg_latency": 13.303519061583577,
+    "avg_latency_by_kind": {
+        "broadcast": 13.034722222222221,
+        "unicast_request": 6.186588921282799,
+        "unicast_response": 22.056478405315616,
+    },
+    "bypass_fraction": 0.7833885350318471,
+    "config_name": "golden",
+    "cycles": 1500,
+    "incomplete_messages": 0,
+    "injection_rate": 0.11,
+    "messages_measured": 1364,
+    "received_flits": 13744,
+    "throughput_flits_per_cycle": 9.162666666666667,
+    "throughput_gbps": 586.4106666666667,
+}
+
+
+def golden_job(pattern=None):
+    return JobSpec(
+        config=proposed_network(),
+        mix=MIXED_TRAFFIC,
+        rate=0.11,
+        seed=7,
+        warmup=300,
+        measure=1500,
+        drain=1500,
+        name="golden",
+        pattern=pattern,
+    )
+
+
+class TestUniformByteIdentity:
+    def test_default_pattern_reproduces_pre_pattern_stats(self):
+        assert golden_job().run().to_dict() == GOLDEN_FIG5_MIXED_011
+
+    def test_explicit_uniform_is_the_same_job(self):
+        default = golden_job()
+        explicit = golden_job(pattern=UniformPattern())
+        assert explicit == default
+        assert explicit.cache_key == default.cache_key
+        assert explicit.run().to_dict() == GOLDEN_FIG5_MIXED_011
+
+
+class TestAdversarialPatternsSaturateEarlier:
+    RATES = (0.08, 0.24, 0.32, 0.40)
+
+    def sweep(self, pattern):
+        cfg = proposed_network()
+        return [
+            JobSpec(
+                config=cfg,
+                mix=UNIFORM_UNICAST,
+                rate=rate,
+                seed=7,
+                warmup=200,
+                measure=1000,
+                drain=1000,
+                pattern=pattern,
+            ).run()
+            for rate in self.RATES
+        ]
+
+    def test_transpose_and_tornado_saturate_below_uniform(self):
+        uniform_sat = find_saturation(self.sweep(None))
+        transpose_sat = find_saturation(self.sweep(make_pattern("transpose")))
+        tornado_sat = find_saturation(self.sweep(make_pattern("tornado")))
+        # uniform is ejection/bisection-limited at R = 1 on a 4x4 mesh
+        # (Table 1) and stays flat across this grid...
+        assert uniform_sat is None
+        # ...while the permutations hit their channel-load walls inside it
+        assert transpose_sat is not None
+        assert tornado_sat is not None
+        assert transpose_sat < self.RATES[-1]
+        assert tornado_sat < self.RATES[-1]
+        # transpose (k-1 overlapping flows) is worse than tornado (k/2)
+        assert transpose_sat < tornado_sat
+        # and the measured wall is near the analytic channel-load bound
+        analytic = pattern_saturation_rate(
+            UNIFORM_UNICAST, 4, make_pattern("transpose")
+        )
+        assert transpose_sat == pytest.approx(analytic, rel=0.25)
+
+    def test_analysis_predicts_the_measured_ordering(self):
+        bounds = {
+            name: pattern_saturation_rate(UNIFORM_UNICAST, 4, make_pattern(name))
+            for name in ("transpose", "tornado")
+        }
+        assert bounds["transpose"] == pytest.approx(1 / 3)
+        assert bounds["tornado"] == pytest.approx(1 / 2)
+        uniform = pattern_saturation_rate(UNIFORM_UNICAST, 4)
+        assert bounds["transpose"] < bounds["tornado"] < uniform == 1.0
+
+
+class TestFig13IgnoresPattern:
+    def test_broadcast_only_figure_is_pattern_invariant(self):
+        from repro.harness.experiments import fig13_broadcast_traffic
+
+        fast = dict(rates=[0.01], warmup=50, measure=200, drain=200)
+        plain = fig13_broadcast_traffic(**fast)
+        patterned = fig13_broadcast_traffic(
+            **fast, pattern=make_pattern("transpose")
+        )
+        # a pattern cannot touch a broadcast-only mix: same sims, same
+        # cache keys, byte-identical results
+        assert patterned["proposed"] == plain["proposed"]
+        assert patterned["baseline"] == plain["baseline"]
+
+
+class TestCliPatternSweeps:
+    FAST = (
+        "--rates",
+        "0.05",
+        "--warmup",
+        "50",
+        "--measure",
+        "200",
+        "--drain",
+        "200",
+        "--no-cache",
+    )
+
+    @pytest.mark.parametrize(
+        "name",
+        (
+            "transpose",
+            "tornado",
+            "neighbor",
+            "bit_complement",
+            "bit_reversal",
+            "shuffle",
+        ),
+    )
+    def test_deterministic_patterns_run_end_to_end(self, name, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "uniform_unicast",
+                "--pattern",
+                name,
+                *self.FAST,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert name in out
+        assert "executed=1" in out
+
+    def test_hotspot_runs_end_to_end(self, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "uniform_unicast",
+                "--pattern",
+                "hotspot",
+                "--hotspot",
+                "0,5",
+                "--hotspot-fraction",
+                "0.6",
+                *self.FAST,
+            ]
+        )
+        assert rc == 0
+        assert "hotspot" in capsys.readouterr().out
+
+    def test_hotspot_nodes_required(self, capsys):
+        rc = cli.main(
+            ["sweep", "--pattern", "hotspot", *self.FAST]
+        )
+        assert rc == 2
+        assert "--hotspot" in capsys.readouterr().err
+
+    def test_hotspot_flag_needs_hotspot_pattern(self, capsys):
+        rc = cli.main(
+            ["sweep", "--pattern", "transpose", "--hotspot", "0", *self.FAST]
+        )
+        assert rc == 2
+
+    def test_hotspot_fraction_needs_hotspot_pattern(self, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--pattern",
+                "transpose",
+                "--hotspot-fraction",
+                "0.9",
+                *self.FAST,
+            ]
+        )
+        assert rc == 2
+
+    def test_pattern_grid_uses_pattern_aware_ceiling(self, capsys):
+        # no explicit rates: the auto grid must bracket the transpose
+        # ceiling (1/3), not the uniform one (1.0)
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "uniform_unicast",
+                "--pattern",
+                "transpose",
+                "--points",
+                "2",
+                "--warmup",
+                "50",
+                "--measure",
+                "100",
+                "--drain",
+                "100",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        top = 1 / 3 * 1.15  # ceiling * default headroom
+        assert f"{top:.4g}"[:5] in out or f"{top:.2f}" in out

@@ -89,7 +89,9 @@ class TestWakeSemantics:
         sim = Simulator(proposed_network())
         sim.run(50)
         spec = MessageSpec(frozenset([9]), MessageClass.REQUEST, 1)
-        sim.network.nics[2].source = SyntheticBurst({(55, 2): [spec]})
+        burst = SyntheticBurst({(55, 2): [spec]})
+        burst.bind(sim.cfg)
+        sim.network.nics[2].source = burst
         sim.run(80)
         assert sim.network.messages[0].complete
 

@@ -80,9 +80,9 @@ class TestNic:
         cfg = proposed_network()
         sim = Simulator(cfg)
         spec = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
-        sim.network.nics[0].source = SyntheticBurst(
-            {(0, 0): [spec] * 5}
-        )
+        burst = SyntheticBurst({(0, 0): [spec] * 5})
+        burst.bind(cfg)
+        sim.network.nics[0].source = burst
         sim.run(3)
         # one decision per cycle at most
         assert sim.network.nic_stats[0].injections <= 3
@@ -92,7 +92,9 @@ class TestNic:
         sim = Simulator(cfg)
         req = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
         resp = MessageSpec(frozenset([2]), MessageClass.RESPONSE, 5)
-        sim.network.nics[0].source = SyntheticBurst({(0, 0): [resp, req]})
+        burst = SyntheticBurst({(0, 0): [resp, req]})
+        burst.bind(cfg)
+        sim.network.nics[0].source = burst
         sim.run(30)
         msgs = sim.network.messages
         assert all(m.complete for m in msgs)

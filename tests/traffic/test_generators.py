@@ -146,6 +146,11 @@ class TestBernoulliTraffic:
 
 
 class TestSyntheticBurst:
+    def test_use_before_bind_rejected(self):
+        burst = SyntheticBurst({})
+        with pytest.raises(RuntimeError):
+            burst.generate(0, 0)
+
     def test_scripted_delivery(self):
         spec = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)
         burst = SyntheticBurst({(3, 0): [spec]})

@@ -1,0 +1,232 @@
+"""Spatial destination patterns: maps, draws, serialization, validation."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.routing import coords, node_at
+from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.mix import MIXED_TRAFFIC, UNIFORM_UNICAST
+from repro.traffic.patterns import (
+    HotspotPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+    pattern_from_dict,
+    pattern_names,
+)
+from repro.traffic.prbs import PRBSGenerator
+
+DETERMINISTIC = (
+    "transpose",
+    "bit_complement",
+    "bit_reversal",
+    "shuffle",
+    "tornado",
+    "neighbor",
+)
+
+
+class TestRegistry:
+    def test_all_patterns_registered(self):
+        assert set(pattern_names()) == set(DETERMINISTIC) | {
+            "uniform",
+            "hotspot",
+        }
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_pattern("zipf")
+
+    def test_round_trips(self):
+        for name in pattern_names():
+            pattern = make_pattern(name)
+            assert pattern_from_dict(pattern.to_dict()) == pattern
+
+    def test_hotspot_round_trip_preserves_parameters(self):
+        pattern = HotspotPattern((3, 12), 0.8)
+        data = pattern.to_dict()
+        assert data == {"name": "hotspot", "hot_nodes": [3, 12], "fraction": 0.8}
+        assert pattern_from_dict(data) == pattern
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            pattern_from_dict({"no_name": True})
+        with pytest.raises(ValueError):
+            pattern_from_dict("transpose")
+
+    def test_patterns_are_hashable_values(self):
+        assert UniformPattern() == UniformPattern()
+        assert UniformPattern() != TransposePattern()
+        assert len({make_pattern(n) for n in pattern_names()}) == len(
+            pattern_names()
+        )
+
+
+class TestDeterministicMaps:
+    @pytest.mark.parametrize("name", DETERMINISTIC)
+    def test_permutation_on_4x4(self, name):
+        pattern = make_pattern(name)
+        dests = [pattern.dest(src, 4) for src in range(16)]
+        assert sorted(dests) == list(range(16))
+
+    def test_transpose_swaps_coordinates(self):
+        pattern = TransposePattern()
+        for src in range(16):
+            x, y = coords(src, 4)
+            assert pattern.dest(src, 4) == node_at(y, x, 4)
+
+    def test_bit_complement(self):
+        pattern = make_pattern("bit_complement")
+        assert pattern.dest(0, 4) == 15
+        assert pattern.dest(5, 4) == 10
+
+    def test_bit_reversal(self):
+        pattern = make_pattern("bit_reversal")
+        # 4 bits: 0b0001 -> 0b1000, 0b0110 -> 0b0110
+        assert pattern.dest(1, 4) == 8
+        assert pattern.dest(6, 4) == 6
+
+    def test_shuffle_rotates_bits(self):
+        pattern = make_pattern("shuffle")
+        assert pattern.dest(0b0011, 4) == 0b0110
+        assert pattern.dest(0b1000, 4) == 0b0001
+
+    def test_tornado_half_span(self):
+        pattern = make_pattern("tornado")
+        for src in range(16):
+            x, y = coords(src, 4)
+            assert pattern.dest(src, 4) == node_at((x + 2) % 4, (y + 2) % 4, 4)
+
+    def test_neighbor_is_next_in_row(self):
+        pattern = make_pattern("neighbor")
+        for src in range(16):
+            x, y = coords(src, 4)
+            assert pattern.dest(src, 4) == node_at((x + 1) % 4, y, 4)
+
+    @pytest.mark.parametrize(
+        "name", ("bit_complement", "bit_reversal", "shuffle")
+    )
+    def test_bit_patterns_need_power_of_two_nodes(self, name):
+        pattern = make_pattern(name)
+        with pytest.raises(ValueError):
+            pattern.validate(3)  # 9 nodes
+        pattern.validate(4)  # 16 nodes: fine
+
+    def test_coordinate_patterns_accept_any_radix(self):
+        for name in ("transpose", "tornado", "neighbor"):
+            make_pattern(name).validate(3)
+
+
+class TestHotspotValidation:
+    def test_needs_hot_nodes(self):
+        with pytest.raises(ValueError):
+            HotspotPattern((), 0.5)
+
+    def test_rejects_duplicates_and_negatives(self):
+        with pytest.raises(ValueError):
+            HotspotPattern((1, 1), 0.5)
+        with pytest.raises(ValueError):
+            HotspotPattern((-1,), 0.5)
+
+    def test_fraction_range(self):
+        with pytest.raises(ValueError):
+            HotspotPattern((0,), 0.0)
+        with pytest.raises(ValueError):
+            HotspotPattern((0,), 1.5)
+        HotspotPattern((0,), 1.0)
+
+    def test_hot_nodes_must_fit_the_mesh(self):
+        with pytest.raises(ValueError):
+            HotspotPattern((16,), 0.5).validate(4)
+        HotspotPattern((15,), 0.5).validate(4)
+
+
+class TestUniformDrawCompatibility:
+    def test_pick_matches_legacy_inline_draw(self):
+        # the PRBS-draw compatibility contract: UniformPattern consumes
+        # exactly the historical draw sequence
+        pattern = UniformPattern()
+        rng_a = PRBSGenerator(order=31, seed=11)
+        rng_b = rng_a.clone()
+        for src in (0, 3, 15, 7) * 200:
+            picked = pattern.pick(rng_a, src, 4, 16)
+            other = rng_b.next_below(15)
+            legacy = other if other < src else other + 1
+            assert picked == legacy
+        assert rng_a._state == rng_b._state  # same number of draws
+
+    def test_default_pattern_generates_identical_stream(self):
+        cfg = NocConfig()
+        default = BernoulliTraffic(MIXED_TRAFFIC, 0.2, seed=7)
+        explicit = BernoulliTraffic(
+            MIXED_TRAFFIC, 0.2, seed=7, pattern=UniformPattern()
+        )
+        default.bind(cfg)
+        explicit.bind(cfg)
+        for t in range(2000):
+            for n in range(cfg.num_nodes):
+                assert default.generate(t, n) == explicit.generate(t, n)
+
+
+class TestGeneratorIntegration:
+    def test_deterministic_pattern_destinations(self):
+        cfg = NocConfig()
+        pattern = TransposePattern()
+        traffic = BernoulliTraffic(
+            UNIFORM_UNICAST, 0.5, seed=3, pattern=pattern
+        )
+        traffic.bind(cfg)
+        seen = 0
+        for t in range(500):
+            for n in range(16):
+                for spec in traffic.generate(t, n):
+                    assert spec.destinations == frozenset([pattern.dest(n, 4)])
+                    seen += 1
+        assert seen > 0
+
+    def test_pattern_leaves_broadcasts_alone(self):
+        cfg = NocConfig()
+        traffic = BernoulliTraffic(
+            MIXED_TRAFFIC, 0.3, seed=5, pattern=TransposePattern()
+        )
+        traffic.bind(cfg)
+        broadcasts = 0
+        for t in range(2000):
+            for spec in traffic.generate(t, 2):
+                if spec.is_multicast:
+                    assert spec.destinations == frozenset(range(16))
+                    broadcasts += 1
+        assert broadcasts > 0
+
+    def test_hotspot_concentrates_traffic(self):
+        cfg = NocConfig()
+        hot = (0, 5)
+        traffic = BernoulliTraffic(
+            UNIFORM_UNICAST, 0.8, seed=11, pattern=HotspotPattern(hot, 0.75)
+        )
+        traffic.bind(cfg)
+        hits = total = 0
+        for t in range(5000):
+            for spec in traffic.generate(t, 3):
+                total += 1
+                hits += spec.destinations <= set(hot)
+        assert hits / total == pytest.approx(0.75, abs=0.05)
+
+    def test_hotspot_background_excludes_self(self):
+        cfg = NocConfig()
+        traffic = BernoulliTraffic(
+            UNIFORM_UNICAST, 0.8, seed=4, pattern=HotspotPattern((0,), 0.3)
+        )
+        traffic.bind(cfg)
+        for t in range(3000):
+            for spec in traffic.generate(t, 6):
+                # node 6 is not hot, so a draw of {6} could only come
+                # from the (self-excluding) background path
+                assert spec.destinations != frozenset([6])
+
+    def test_bind_validates_pattern_against_mesh(self):
+        traffic = BernoulliTraffic(
+            UNIFORM_UNICAST, 0.2, pattern=make_pattern("bit_reversal")
+        )
+        with pytest.raises(ValueError):
+            traffic.bind(NocConfig(k=3))
