@@ -1,4 +1,4 @@
-"""Pattern-dependent throughput ceilings for a k x k XY mesh.
+"""Pattern- and routing-dependent throughput ceilings for a k x k mesh.
 
 Table 1 formalises the two channel-load bounds of the paper — the
 bisection links for spreading traffic and the ejection links for
@@ -24,6 +24,26 @@ load ride along in every bound.  For mixes combining broadcasts with a
 patterned unicast component, the two constraint families are evaluated
 independently and the minimum is returned — exact for single-kind
 mixes, mildly optimistic when the binding link would carry both kinds.
+
+The ``routing`` axis (PR 4) generalises the channel bounds to the
+oblivious algorithms of :mod:`repro.noc.routing`:
+
+* ``yx`` — the XY computation with the dimension order swapped;
+* ``o1turn`` — every flow splits evenly over its XY and YX paths, so a
+  link's load is the *elementwise average* of the XY and YX load maps.
+  For permutations whose XY and YX hot links are disjoint (transpose)
+  this is the classic max(XY, YX)/2 halving; where they coincide
+  (tornado) the exact elementwise average shows the bound does not
+  move, which the issue's coarser max/2 formula would miss;
+* ``valiant`` — two uniform-random XY phases regardless of the
+  pattern, so the binding channel load is twice uniform's kR/4
+  bisection load (pattern-independence bought at 2x the average load).
+
+Ejection bounds are routing-independent: no oblivious algorithm
+changes *where* a flit finally ejects.  All channel bounds assume the
+VC provisioning is not binding — see
+:func:`repro.noc.config.routed_vc_config` for why two-phase algorithms
+need more than the chip's stock six VCs to express them.
 """
 
 from __future__ import annotations
@@ -62,12 +82,28 @@ def xy_route_links(src, dst, k):
     return links
 
 
-def channel_load_map(pattern, k):
+def yx_route_links(src, dst, k):
+    """Directed router-to-router links of the YX route from src to dst."""
+    links = []
+    x, y = coords(src, k)
+    dx, dy = coords(dst, k)
+    while y != dy:
+        ny = y + (1 if dy > y else -1)
+        links.append(((x, y), (x, ny)))
+        y = ny
+    while x != dx:
+        nx = x + (1 if dx > x else -1)
+        links.append(((x, y), (nx, y)))
+        x = nx
+    return links
+
+
+def channel_load_map(pattern, k, route_links=xy_route_links):
     """Directed-link crossing counts of a deterministic pattern.
 
-    Each source contributes its full XY route once, so an entry of ``c``
-    means the link carries ``c * R_u`` flits/cycle at a per-node unicast
-    flit rate of ``R_u``.
+    Each source contributes its full route (``route_links``; XY by
+    default) once, so an entry of ``c`` means the link carries
+    ``c * R_u`` flits/cycle at a per-node unicast flit rate of ``R_u``.
     """
     if not pattern.deterministic:
         raise ValueError(
@@ -75,15 +111,44 @@ def channel_load_map(pattern, k):
         )
     loads = Counter()
     for src in range(k * k):
-        for link in xy_route_links(src, pattern.dest(src, k), k):
+        for link in route_links(src, pattern.dest(src, k), k):
             loads[link] += 1
     return loads
 
 
-def max_channel_load(pattern, k):
-    """The binding (maximum) directed-link load per unit unicast rate."""
-    loads = channel_load_map(pattern, k)
+def max_channel_load(pattern, k, routing=None):
+    """The binding (maximum) directed-link load per unit unicast rate
+    of a deterministic pattern under an oblivious routing algorithm
+    (``None`` = the XY default; Valiant is handled separately because
+    its load is pattern-independent)."""
+    name = _routing_name(routing)
+    if name == "valiant":
+        raise ValueError(
+            "valiant channel load is pattern-independent (2x uniform); "
+            "use pattern_saturation_rate, which models it directly"
+        )
+    if name == "yx":
+        loads = channel_load_map(pattern, k, yx_route_links)
+    elif name == "o1turn":
+        xy = channel_load_map(pattern, k, xy_route_links)
+        yx = channel_load_map(pattern, k, yx_route_links)
+        loads = {
+            link: (xy.get(link, 0) + yx.get(link, 0)) / 2.0
+            for link in set(xy) | set(yx)
+        }
+    else:
+        loads = channel_load_map(pattern, k, xy_route_links)
     return max(loads.values()) if loads else 0
+
+
+def _routing_name(routing):
+    """Canonical algorithm name of a routing argument (None = xy)."""
+    if routing is None:
+        return "xy"
+    name = getattr(routing, "name", routing)
+    if name not in ("xy", "yx", "o1turn", "valiant"):
+        raise ValueError(f"no channel-load model for routing {name!r}")
+    return name
 
 
 def max_ejection_indegree(pattern, k):
@@ -97,15 +162,17 @@ def max_ejection_indegree(pattern, k):
     return max(indeg.values())
 
 
-def pattern_saturation_rate(mix, k, pattern=None):
+def pattern_saturation_rate(mix, k, pattern=None, routing=None):
     """Offered-load ceiling (flits/node/cycle) for a patterned mix.
 
     Generalises :meth:`TrafficMix.saturation_injection_rate`: returns
     the smallest injection rate R at which some channel load reaches
-    one flit per cycle, for the given spatial pattern on a k x k XY
-    mesh.  ``pattern=None`` (or uniform) reproduces Table 1's uniform
-    bounds.
+    one flit per cycle, for the given spatial pattern on a k x k mesh
+    routed by ``routing`` (``None`` = dimension-ordered XY).
+    ``pattern=None`` (or uniform) with XY routing reproduces Table 1's
+    uniform bounds.
     """
+    name = _routing_name(routing)
     n = k * k
     unicast, broadcast = _unicast_broadcast_flit_fractions(mix)
     bounds = []
@@ -129,12 +196,19 @@ def pattern_saturation_rate(mix, k, pattern=None):
         bounds.append(1.0 / ejection)
 
     # --- mesh channels: one flit per directed link per cycle ---------
-    # broadcasts load each bisection link with k^2 R / 4 (Table 1)
+    # broadcasts load each bisection link with k^2 R / 4 (Table 1;
+    # multicast trees are XY regardless of the routing algorithm)
     broadcast_ch = broadcast * (n / 4.0)
-    if pattern is not None and pattern.deterministic:
-        unicast_ch = unicast * max_channel_load(pattern, k)
+    if name == "valiant":
+        # two uniform-random XY phases whatever the pattern: twice the
+        # uniform kR/4 bisection load on the binding link
+        unicast_ch = unicast * (k / 2.0)
+    elif pattern is not None and pattern.deterministic:
+        unicast_ch = unicast * max_channel_load(pattern, k, name)
     else:
-        # uniform (and the hotspot background): kR/4 per bisection link
+        # uniform (and the hotspot background): kR/4 per bisection
+        # link under xy, yx and o1turn alike (the elementwise average
+        # of two equal uniform load maps is the same map)
         unicast_ch = unicast * (k / 4.0)
     channel = broadcast_ch + unicast_ch
     if channel > 0:

@@ -8,6 +8,13 @@ operating point that has already been computed with identical
 parameters.  Corrupt or stale entries are treated as misses and
 overwritten on the next store, so the cache can always be deleted (or
 ``repro cache clear``-ed) with no loss beyond recomputation time.
+
+Key-compatibility policy: default-valued experiment axes are *omitted*
+from the canonical job encoding (``JobSpec.pattern`` when uniform,
+``NocConfig.routing`` when XY), so growing the experiment space never
+invalidates previously cached entries; only non-default values extend
+the encoding and get fresh content addresses.  ``CACHE_VERSION`` is
+reserved for changes to the *meaning* of already-cached results.
 """
 
 from __future__ import annotations

@@ -36,6 +36,7 @@ from repro.engine.jobspec import (
 from repro.harness import experiments
 from repro.harness.sweep import default_rates, run_sweep
 from repro.harness.tables import format_series
+from repro.noc.routing import make_routing, routing_names
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.patterns import HotspotPattern, make_pattern, pattern_names
 
@@ -129,6 +130,26 @@ def _add_pattern_args(parser):
         metavar="F",
         help="fraction of unicasts aimed at the hot nodes (default: 0.5)",
     )
+
+
+def _add_routing_args(parser):
+    # choices= so a typo lists the valid names at the argparse layer
+    # instead of surfacing as a KeyError from the registry downstream
+    parser.add_argument(
+        "--routing",
+        choices=routing_names(),
+        default="xy",
+        help="unicast routing algorithm (default: xy; multicast trees "
+        "always route xy — see DESIGN.md §5)",
+    )
+
+
+def _make_routing(args):
+    """The RoutingAlgorithm selected by --routing (None = the XY
+    default, so default cache keys stay byte-identical)."""
+    if args.routing == "xy":
+        return None
+    return make_routing(args.routing)
 
 
 def _make_traffic_pattern(args):
@@ -226,6 +247,9 @@ def _print_sweep(points, title):
 
 def cmd_sweep(args):
     config = CONFIGS[args.config]()
+    routing = _make_routing(args)
+    if routing is not None:
+        config = config.with_(routing=routing)
     mix = MIXES[args.mix]
     pattern = _make_traffic_pattern(args)
     rates = args.rates or default_rates(
@@ -234,6 +258,7 @@ def cmd_sweep(args):
         points=args.points,
         headroom=args.headroom,
         pattern=pattern,
+        routing=routing,
     )
     executor = _make_executor(args)
     points = run_sweep(
@@ -250,7 +275,7 @@ def cmd_sweep(args):
     )
     _print_sweep(
         {args.config: points},
-        f"{args.config} / {mix.name} / {args.pattern} "
+        f"{args.config} / {mix.name} / {args.pattern} / {args.routing} "
         f"latency-throughput sweep",
     )
     _print_engine_summary(executor)
@@ -264,6 +289,7 @@ def cmd_figure(args):
             seed=args.seed,
             executor=executor,
             pattern=_make_traffic_pattern(args),
+            routing=_make_routing(args),
         )
         if args.rates is not None:
             kwargs["rates"] = args.rates
@@ -295,6 +321,7 @@ def cmd_figure(args):
             or args.drain is not None
             or args.seed != DEFAULT_SEED
             or args.pattern != "uniform"
+            or args.routing != "xy"
             or args.hotspot is not None
             or args.hotspot_fraction is not None
         )
@@ -360,6 +387,7 @@ def build_parser():
         help="auto-grid top as a multiple of the mix ceiling",
     )
     _add_pattern_args(sweep)
+    _add_routing_args(sweep)
     _add_cycle_args(sweep, defaults=True)
     _add_engine_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -378,6 +406,7 @@ def build_parser():
         help="override the sweep grid (fig5/fig13 only)",
     )
     _add_pattern_args(figure)
+    _add_routing_args(figure)
     _add_cycle_args(figure, defaults=False)
     _add_engine_args(figure)
     figure.set_defaults(func=cmd_figure)

@@ -48,6 +48,16 @@ class JobSpec:
     #: UniformPattern is normalised to None, so equal jobs stay equal)
     pattern: object = None
 
+    @property
+    def routing(self):
+        """The job's unicast routing algorithm (lives on the config,
+        where the VC partition is validated; surfaced here because it
+        is an axis of the experiment space like ``pattern``).  The
+        config omits the XY default from its encoding, so pre-routing
+        cache keys stay byte-identical.
+        """
+        return self.config.routing
+
     def __post_init__(self):
         if self.rate < 0 or self.rate > 1:
             raise ValueError("injection rate must be within [0, 1]")

@@ -91,16 +91,17 @@ def table4_area():
 # ---------------------------------------------------------------- figures
 
 
-def _paired_sweeps(mix, rates, executor=None, **kwargs):
+def _paired_sweeps(mix, rates, executor=None, routing=None, **kwargs):
     """Proposed + baseline sweeps, submitted as one engine batch so a
-    process-pool backend can overlap the two."""
-    return run_sweep_batch(
-        {"proposed": proposed_network(), "baseline": baseline_network()},
-        mix,
-        rates,
-        executor=executor,
-        **kwargs,
-    )
+    process-pool backend can overlap the two.  ``routing`` swaps the
+    unicast routing algorithm into both configs (multicast trees stay
+    XY — the baseline expands broadcasts into unicasts anyway)."""
+    configs = {"proposed": proposed_network(), "baseline": baseline_network()}
+    if routing is not None:
+        configs = {
+            name: cfg.with_(routing=routing) for name, cfg in configs.items()
+        }
+    return run_sweep_batch(configs, mix, rates, executor=executor, **kwargs)
 
 
 def fig5_mixed_traffic(
@@ -111,6 +112,7 @@ def fig5_mixed_traffic(
     seed=DEFAULT_SEED,
     executor=None,
     pattern=None,
+    routing=None,
 ):
     """Fig. 5: latency vs injection for mixed traffic at 1 GHz.
 
@@ -119,21 +121,26 @@ def fig5_mixed_traffic(
     :class:`~repro.engine.Executor`) selects the execution backend and
     result cache; the default is serial and uncached.  ``pattern``
     replaces the paper's uniform unicast destinations with a spatial
-    :class:`~repro.traffic.patterns.DestinationPattern` (the limit
-    lines are only exact for the uniform default).
+    :class:`~repro.traffic.patterns.DestinationPattern`, and
+    ``routing`` swaps the unicast routing algorithm (a
+    :class:`~repro.noc.routing.RoutingAlgorithm`); the limit lines are
+    only exact for the uniform-XY default.
     """
     lim = MeshLimits(4)
     if rates is None:
-        if pattern is None:
+        if pattern is None and routing is None:
             rates = [0.02, 0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.21]
         else:
-            # adversarial patterns saturate well below the uniform
-            # grid; bracket the pattern's own ceiling instead
-            rates = default_rates(MIXED_TRAFFIC, 16, pattern=pattern)
+            # adversarial patterns (or non-default routing) saturate
+            # away from the uniform grid; bracket their own ceiling
+            rates = default_rates(
+                MIXED_TRAFFIC, 16, pattern=pattern, routing=routing
+            )
     sweeps = _paired_sweeps(
         MIXED_TRAFFIC,
         rates,
         executor=executor,
+        routing=routing,
         warmup=warmup,
         measure=measure,
         drain=drain,
@@ -166,13 +173,16 @@ def fig13_broadcast_traffic(
     seed=DEFAULT_SEED,
     executor=None,
     pattern=None,
+    routing=None,
 ):
     """Fig. 13 / Appendix D: broadcast-only latency vs injection.
 
-    ``pattern`` is accepted for CLI symmetry but *ignored*: broadcast
-    messages always address every node and this mix has no unicast
-    component, so a pattern cannot change a single flit — honouring it
-    would only fork the cache keys and re-simulate identical results.
+    ``pattern`` and ``routing`` are accepted for CLI symmetry but
+    *ignored*: broadcast messages always address every node and route
+    along the XY multicast tree under every algorithm, and this mix
+    has no unicast component, so neither knob can change a single
+    flit — honouring them would only fork the cache keys and
+    re-simulate identical results.
     """
     lim = MeshLimits(4)
     if rates is None:

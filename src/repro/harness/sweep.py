@@ -89,16 +89,18 @@ def run_sweep_batch(named_configs, mix, rates, executor=None, **kwargs):
     }
 
 
-def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None):
+def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None,
+                  routing=None):
     """A sensible rate grid from near-zero load past the mix's ceiling.
 
-    With a spatial ``pattern``, the ceiling comes from the
-    pattern-aware bound of :func:`repro.analysis.pattern_limits.
-    pattern_saturation_rate` (e.g. the bisection-bandwidth bound of a
-    permutation pattern), so adversarial patterns get a grid that
-    actually brackets their much lower saturation point.
+    With a spatial ``pattern`` and/or a non-default ``routing``
+    algorithm, the ceiling comes from the per-algorithm bound of
+    :func:`repro.analysis.pattern_limits.pattern_saturation_rate`
+    (e.g. the halved permutation channel load of O1TURN, or Valiant's
+    2x-uniform load), so the grid brackets where that combination
+    actually saturates rather than where uniform XY would.
     """
-    if pattern is None:
+    if pattern is None and routing is None:
         ceiling = mix.saturation_injection_rate(num_nodes)
     else:
         from repro.analysis.pattern_limits import pattern_saturation_rate
@@ -106,6 +108,6 @@ def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None):
         k = math.isqrt(num_nodes)
         if k * k != num_nodes:
             raise ValueError(f"{num_nodes} nodes is not a square mesh")
-        ceiling = pattern_saturation_rate(mix, k, pattern)
+        ceiling = pattern_saturation_rate(mix, k, pattern, routing)
     top = min(1.0, ceiling * headroom)
     return [top * (i + 1) / points for i in range(points)]

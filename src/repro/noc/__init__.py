@@ -14,6 +14,16 @@ from repro.noc.config import NocConfig, VCSpec, proposed_vc_config
 from repro.noc.flit import Flit, Message, MessageClass, Packet
 from repro.noc.mesh import MeshNetwork
 from repro.noc.ports import LOCAL, NORTH, EAST, SOUTH, WEST, PORT_NAMES
+from repro.noc.routing import (
+    O1TurnRouting,
+    RoutingAlgorithm,
+    ValiantRouting,
+    XYRouting,
+    YXRouting,
+    make_routing,
+    routing_from_dict,
+    routing_names,
+)
 from repro.noc.simulator import Simulator
 
 __all__ = [
@@ -25,11 +35,19 @@ __all__ = [
     "MessageClass",
     "NORTH",
     "NocConfig",
+    "O1TurnRouting",
     "PORT_NAMES",
     "Packet",
+    "RoutingAlgorithm",
     "SOUTH",
     "Simulator",
     "VCSpec",
+    "ValiantRouting",
     "WEST",
+    "XYRouting",
+    "YXRouting",
+    "make_routing",
+    "routing_from_dict",
+    "routing_names",
     "proposed_vc_config",
 ]

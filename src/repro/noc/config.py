@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.noc.flit import MessageClass
+from repro.noc.routing import XYRouting, routing_from_dict
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,35 @@ def proposed_vc_config():
     )
 
 
+def routed_vc_config():
+    """VC provisioning for two-phase routing studies (DESIGN.md §5).
+
+    Eight 1-flit request VCs and two 3-flit response VCs: each VC
+    partition of a two-phase algorithm (O1TURN, Valiant) then holds the
+    chip's original four request VCs and one response VC, so the
+    partition's per-link bandwidth is not the binding constraint and
+    the algorithm can express its channel-load bound.  With the chip's
+    stock six VCs, a partition gets two 1-deep request VCs whose
+    ~4-cycle allocate-to-free turnaround caps each phase near 0.5
+    flits/link/cycle — which is why O1TURN on the stock config saturates
+    transpose at the same 1/3 wall as XY despite halving the channel
+    load.  (The O1TURN paper likewise doubles VCs relative to
+    dimension-ordered routing.)
+    """
+    return (
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.REQUEST, 1),
+        VCSpec(MessageClass.RESPONSE, 3),
+        VCSpec(MessageClass.RESPONSE, 3),
+    )
+
+
 @dataclass(frozen=True)
 class NocConfig:
     """Parameters of one simulated network.
@@ -77,6 +107,14 @@ class NocConfig:
     frequency_ghz:
         Clock frequency used to convert cycles and flits into seconds
         and Gb/s (the chip runs at 1 GHz).
+    routing:
+        Unicast routing algorithm (a serializable
+        :class:`~repro.noc.routing.RoutingAlgorithm` value; ``None``
+        normalises to the paper's dimension-ordered XY).  Two-phase
+        algorithms (O1TURN, Valiant) partition each message class's
+        VCs into disjoint sets for deadlock avoidance, which is
+        validated here at construction; multicast trees are XY-only
+        regardless of the algorithm (DESIGN.md §5).
     """
 
     k: int = 4
@@ -86,8 +124,11 @@ class NocConfig:
     bypass: bool = True
     separate_st_lt: bool = False
     frequency_ghz: float = 1.0
+    routing: object = field(default_factory=XYRouting)
 
     def __post_init__(self):
+        if self.routing is None:
+            object.__setattr__(self, "routing", XYRouting())
         if self.k < 2:
             raise ValueError("mesh radix must be at least 2")
         if not self.vcs:
@@ -103,6 +144,7 @@ class NocConfig:
         for mc in MessageClass:
             if not any(spec.mclass == mc for spec in self.vcs):
                 raise ValueError(f"no VC provisioned for message class {mc.name}")
+        self.routing.validate(self)
 
     @property
     def num_nodes(self):
@@ -119,6 +161,11 @@ class NocConfig:
     def vcs_of_class(self, mclass):
         """VC indices belonging to a message class."""
         return tuple(i for i, spec in enumerate(self.vcs) if spec.mclass == mclass)
+
+    @property
+    def vc_phases(self):
+        """Routing-partition phase of each VC index (see DESIGN.md §5)."""
+        return self.routing.vc_partition(self)
 
     @property
     def link_delay(self):
@@ -138,9 +185,12 @@ class NocConfig:
         """A JSON-safe representation that :meth:`from_dict` inverts.
 
         Used by :mod:`repro.engine` to hash configurations into cache
-        keys and to ship them across process boundaries.
+        keys and to ship them across process boundaries.  The
+        ``routing`` key is omitted for the XY default so that
+        pre-routing cache keys (and on-disk ``.repro_cache/`` entries)
+        stay valid byte for byte.
         """
-        return {
+        data = {
             "k": self.k,
             "vcs": [spec.to_dict() for spec in self.vcs],
             "flit_bits": self.flit_bits,
@@ -149,9 +199,13 @@ class NocConfig:
             "separate_st_lt": self.separate_st_lt,
             "frequency_ghz": self.frequency_ghz,
         }
+        if self.routing != XYRouting():
+            data["routing"] = self.routing.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data):
+        routing = data.get("routing")
         return cls(
             k=int(data["k"]),
             vcs=tuple(VCSpec.from_dict(v) for v in data["vcs"]),
@@ -160,4 +214,5 @@ class NocConfig:
             bypass=bool(data["bypass"]),
             separate_st_lt=bool(data["separate_st_lt"]),
             frequency_ghz=float(data["frequency_ghz"]),
+            routing=routing_from_dict(routing) if routing is not None else None,
         )

@@ -70,7 +70,16 @@ class Message:
 
 @dataclass
 class Packet:
-    """A routable unit: one head flit, optional body flits, one tail."""
+    """A routable unit: one head flit, optional body flits, one tail.
+
+    ``rheader`` / ``rphase`` are the packet's routing header state,
+    drawn once at injection by the network's
+    :class:`~repro.noc.routing.RouteState` (O1TURN's chosen dimension
+    order, Valiant's intermediate node) and copied onto every flit; the
+    empty header ``None`` is dimension-ordered XY in VC partition 0,
+    which is also what every multicast packet carries (multicast trees
+    are XY-only, see DESIGN.md §5).
+    """
 
     pid: int
     message: Message
@@ -78,6 +87,8 @@ class Packet:
     destinations: frozenset
     mclass: MessageClass
     num_flits: int
+    rheader: object = None
+    rphase: int = 0
 
     def __post_init__(self):
         if self.num_flits < 1:
@@ -101,6 +112,8 @@ class Packet:
                 is_head=(i == 0),
                 is_tail=(i == self.num_flits - 1),
                 destinations=self.destinations,
+                rheader=self.rheader,
+                phase=self.rphase,
             )
             for i in range(self.num_flits)
         ]
@@ -131,6 +144,12 @@ class Flit:
     injection_cycle: int | None = None
     hops: int = 0
     bypassed_hops: int = 0
+    #: routing header state (see :class:`Packet`); ``rheader`` may be
+    #: rewritten en route by an advancing algorithm (Valiant flips to
+    #: its terminal phase at the intermediate node), ``phase`` is the
+    #: VC partition the flit allocates from at its next hop.
+    rheader: object = None
+    phase: int = 0
     #: Per-hop pipeline bookkeeping, reset on every arrival:
     #: ``route`` is the output-port partition of ``destinations`` at the
     #: current router; ``stage`` is None (awaiting mSA-I), "S2" (holds the
@@ -160,6 +179,8 @@ class Flit:
             injection_cycle=self.injection_cycle,
             hops=self.hops,
             bypassed_hops=self.bypassed_hops,
+            rheader=self.rheader,
+            phase=self.phase,
         )
 
     def __repr__(self):  # keep traces short

@@ -35,6 +35,12 @@ class Lookahead:
     is_head: bool
     is_tail: bool
     destinations: frozenset
+    #: routing header of the in-flight flit (the receiving router
+    #: re-applies any header advance before recomputing the route, so
+    #: lookahead and flit always agree) and the VC partition the flit
+    #: occupies at the receiving router.
+    rheader: object = None
+    phase: int = 0
 
 
 @dataclass(slots=True)

@@ -35,7 +35,7 @@ from repro.noc.metrics import ActivityCounters, aggregate
 from repro.noc.nic import Nic
 from repro.noc.ports import EAST, LOCAL, NORTH, OPPOSITE, SOUTH, WEST
 from repro.noc.router import Router
-from repro.noc.routing import coords, node_at
+from repro.noc.routing import RouteState, coords, node_at
 
 CREDIT_DELAY = 2
 LOOKAHEAD_DELAY = 1
@@ -81,8 +81,13 @@ class MeshNetwork:
         # NICs that must run their injection step() each cycle
         self._live_nics = set(range(config.num_nodes))
         self._live_order = None  # cached sorted view of _live_nics
+        #: per-network routing runtime: one shared route memo (dropped
+        #: with the network) plus the per-node header-draw streams;
+        #: reseeded from the traffic seed by ``Simulator.attach_traffic``
+        self.route_state = RouteState(config.routing, config.k)
         self.routers = [
-            Router(config, n, self.router_stats[n]) for n in range(config.num_nodes)
+            Router(config, n, self.router_stats[n], self.route_state)
+            for n in range(config.num_nodes)
         ]
         self.nics = [
             Nic(config, n, self.nic_stats[n], self.messages)
@@ -131,6 +136,11 @@ class MeshNetwork:
     def pop_nic_rx_wakes(self, cycle):
         """Consume and return the NIC receive set for ``cycle``."""
         return self._nic_rx_wakes.pop(cycle, None)
+
+    def seed_routing(self, seed):
+        """Reseed the routing header streams (no-op for ``None``)."""
+        if seed is not None:
+            self.route_state.reseed(seed)
 
     def wake_nic_step(self, node):
         """Mark NIC ``node`` live: it has a source or injection backlog."""

@@ -20,6 +20,7 @@ from collections import deque
 
 from repro.noc.flit import Message, MessageClass, Packet
 from repro.noc.lookahead import Lookahead
+from repro.noc.routing import RouteState
 from repro.noc.vc import CreditMsg, OutputVCTracker
 
 
@@ -31,7 +32,7 @@ class Nic:
         self.node = node
         self.stats = stats
         self.message_log = message_log
-        self.tracker = OutputVCTracker(config.vcs)
+        self.tracker = OutputVCTracker(config.vcs, config.vc_phases)
         self.queues = {mc: deque() for mc in MessageClass}
         self._mc_rr = deque(MessageClass)
         self._pending = None
@@ -51,6 +52,9 @@ class Nic:
         # are network-unique and every simulation starts from 0
         self._local_message_ids = None
         self._local_packet_ids = None
+        # standalone fallback routing runtime (shared network instance
+        # otherwise, so header draws and route memos stay per-network)
+        self._local_route_state = None
 
     @property
     def source(self):
@@ -84,10 +88,34 @@ class Nic:
             self._local_packet_ids = itertools.count()
         return self._local_message_ids, self._local_packet_ids
 
+    def _routing(self):
+        """The routing runtime: the owning network's, or a lazily
+        created local one for a standalone NIC."""
+        net = self.network
+        if net is not None:
+            return net.route_state
+        if self._local_route_state is None:
+            self._local_route_state = RouteState(self.cfg.routing, self.cfg.k)
+        return self._local_route_state
+
     def submit(self, spec, cycle):
         """Accept a core message and enqueue its flits for injection."""
         message_ids, packet_ids = self._id_counters()
+        routing = self._routing()
         destinations = frozenset(spec.destinations)
+        if (
+            len(destinations) > 1
+            and self.cfg.multicast
+            and not routing.algorithm.supports_multicast
+        ):
+            # multicast trees are XY-only (DESIGN.md §5): an algorithm
+            # whose single VC partition would mix non-XY turns with the
+            # tree cannot carry router-level multicast deadlock free
+            raise RuntimeError(
+                f"{routing.algorithm.name} routing cannot carry "
+                f"router-level multicast (XY-tree restriction); use xy "
+                f"routing or a multicast=False config"
+            )
         message = Message(
             mid=next(message_ids),
             src=self.node,
@@ -102,6 +130,7 @@ class Nic:
         else:
             packet_dests = [destinations]
         for dests in packet_dests:
+            rheader, rphase = routing.packet_header(self.node, dests)
             packet = Packet(
                 pid=next(packet_ids),
                 message=message,
@@ -109,6 +138,8 @@ class Nic:
                 destinations=dests,
                 mclass=spec.mclass,
                 num_flits=spec.num_flits,
+                rheader=rheader,
+                rphase=rphase,
             )
             message.register_packet(packet)
             for flit in packet.make_flits():
@@ -168,9 +199,9 @@ class Nic:
                 continue
             flit = queue[0]
             if flit.is_head:
-                if self.tracker.peek_free(mclass) is None:
+                if self.tracker.peek_free(mclass, flit.phase) is None:
                     continue
-                out_vc = self.tracker.alloc_head(mclass, flit.pid)
+                out_vc = self.tracker.alloc_head(mclass, flit.pid, flit.phase)
             else:
                 if self.tracker.body_vc(flit.pid) is None:
                     continue
@@ -189,6 +220,8 @@ class Nic:
                         is_head=flit.is_head,
                         is_tail=flit.is_tail,
                         destinations=flit.destinations,
+                        rheader=flit.rheader,
+                        phase=flit.phase,
                     ),
                 )
                 self.stats.la_sent += 1

@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.noc.arbiters import MatrixArbiter, RoundRobinArbiter
 from repro.noc.lookahead import Lookahead, STOp
 from repro.noc.ports import LOCAL, NUM_PORTS, port_name
-from repro.noc.routing import _route_xy_tree
+from repro.noc.routing import RouteState
 from repro.noc.vc import CreditMsg, InputVC, OutputVCTracker
 
 
@@ -61,7 +61,7 @@ class OutputPort:
 
     def __init__(self, config, port):
         self.port = port
-        self.tracker = OutputVCTracker(config.vcs)
+        self.tracker = OutputVCTracker(config.vcs, config.vc_phases)
         self.arbiter = MatrixArbiter(NUM_PORTS)
         self.link_out = None
         self.credit_in = None
@@ -75,10 +75,17 @@ class OutputPort:
 class Router:
     """One node of the mesh: 5 input ports, 5 output ports, a crossbar."""
 
-    def __init__(self, config, node, stats):
+    def __init__(self, config, node, stats, route_state=None):
         self.cfg = config
         self.node = node
         self.stats = stats
+        #: the owning network's shared routing runtime (memo + header
+        #: streams); a standalone router gets a private instance
+        self.route_state = (
+            route_state
+            if route_state is not None
+            else RouteState(config.routing, config.k)
+        )
         self.in_ports = [InputPort(config, p) for p in range(NUM_PORTS)]
         self.out_ports = [OutputPort(config, p) for p in range(NUM_PORTS)]
         self.msa1 = [RoundRobinArbiter(config.num_vcs) for _ in range(NUM_PORTS)]
@@ -98,14 +105,22 @@ class Router:
 
     def receive(self, cycle):
         """Drain link, credit and lookahead arrivals for this cycle."""
+        rs = self.route_state
+        lookup = rs.route
+        advancing = rs.advancing
+        node = self.node
         for ip in self.in_ports:
             if not ip.connected:
                 continue
             for flit in ip.link_in.receive(cycle):
-                # flit.destinations is always a frozenset, so the memoized
-                # partition is called directly, skipping the normalizing
-                # route_xy_tree wrapper on the per-flit-per-hop path
-                flit.route = _route_xy_tree(self.node, flit.destinations, self.cfg.k)
+                # the routing header advances (Valiant consumes its
+                # intermediate node here) before the route is derived,
+                # so route and VC phase always reflect the new state
+                if advancing:
+                    flit.rheader, flit.phase = rs.advance(
+                        node, flit.destinations, flit.rheader
+                    )
+                flit.route = lookup(node, flit.destinations, flit.rheader)
                 op = ip.st_ops.get(cycle)
                 if op is not None and op.kind == "bypass":
                     if ip.latch is not None:
@@ -214,7 +229,7 @@ class Router:
             return False
         return ip.latch is None
 
-    def _port_resources_ok(self, port, mclass, pid, is_head):
+    def _port_resources_ok(self, port, mclass, pid, is_head, phase):
         """VA/credit check folded into mSA-II (see DESIGN.md)."""
         out = self.out_ports[port]
         if not out.connected:
@@ -224,21 +239,22 @@ class Router:
             )
         tracker = out.tracker
         if is_head:
-            return tracker.peek_free(mclass) is not None
+            return tracker.peek_free(mclass, phase) is not None
         return tracker.body_vc(pid) is not None
 
-    def _allocate(self, port, la_or_flit):
+    def _allocate(self, port, la_or_flit, phase):
         """Allocate the downstream VC for one granted output branch."""
         tracker = self.out_ports[port].tracker
         if la_or_flit.is_head:
-            out_vc = tracker.alloc_head(la_or_flit.mclass, la_or_flit.pid)
+            out_vc = tracker.alloc_head(la_or_flit.mclass, la_or_flit.pid, phase)
         else:
             out_vc = tracker.consume_body(la_or_flit.pid)
         if out_vc is None:
             raise RuntimeError("allocation after a passing resource check failed")
         return out_vc
 
-    def _forward_lookahead(self, cycle, port, out_vc, subset, source):
+    def _forward_lookahead(self, cycle, port, out_vc, subset, source,
+                           rheader, phase):
         """NRC + lookahead generation for a granted non-local branch."""
         if port == LOCAL or not self.cfg.bypass:
             return
@@ -252,6 +268,8 @@ class Router:
                 is_head=source.is_head,
                 is_tail=source.is_tail,
                 destinations=subset,
+                rheader=rheader,
+                phase=phase,
             ),
         )
         self.stats.la_sent += 1
@@ -263,17 +281,25 @@ class Router:
         candidates.clear()
         requests = self._requests
         requests.clear()
+        rs = self.route_state
+        advancing = rs.advancing
         for ip in self.in_ports:
             la = ip.la_now
             if la is None or not self._la_eligible(ip, la, cycle):
                 continue
-            route = _route_xy_tree(self.node, la.destinations, self.cfg.k)
+            # mirror the header advance the flit itself will perform on
+            # arrival, so the pre-allocated route matches it exactly
+            if advancing:
+                rheader, phase = rs.advance(self.node, la.destinations, la.rheader)
+            else:
+                rheader, phase = la.rheader, la.phase
+            route = rs.route(self.node, la.destinations, rheader)
             if not all(
-                self._port_resources_ok(p, la.mclass, la.pid, la.is_head)
+                self._port_resources_ok(p, la.mclass, la.pid, la.is_head, phase)
                 for p in route
             ):
                 continue
-            candidates[ip.port] = (la, route)
+            candidates[ip.port] = (la, route, rheader, phase)
             for p in route:
                 reqs = requests.get(p)
                 if reqs is None:
@@ -286,17 +312,19 @@ class Router:
         winners.clear()
         for p, reqs in requests.items():
             winners[p] = self.out_ports[p].arbiter.grant(reqs)
-        for in_port, (la, route) in candidates.items():
+        for in_port, (la, route, rheader, phase) in candidates.items():
             # multicast bypass is all-or-nothing: a flit cannot both
             # traverse and be buffered, so any lost branch buffers it
             if not all(winners[p] == in_port for p in route):
                 continue
             grants = {}
             for port, subset in route.items():
-                out_vc = self._allocate(port, la)
+                out_vc = self._allocate(port, la, phase)
                 grants[port] = (out_vc, subset)
                 used_out.add(port)
-                self._forward_lookahead(cycle, port, out_vc, subset, la)
+                self._forward_lookahead(
+                    cycle, port, out_vc, subset, la, rheader, phase
+                )
             ip = self.in_ports[in_port]
             ip.st_ops[cycle + 1] = STOp(
                 kind="bypass", in_port=in_port, vc=la.vc, flit=None, grants=grants
@@ -325,7 +353,9 @@ class Router:
                 for p, s in flit.route.items()
                 if p not in flit.granted_ports
                 and p not in used_out
-                and self._port_resources_ok(p, flit.mclass, flit.pid, flit.is_head)
+                and self._port_resources_ok(
+                    p, flit.mclass, flit.pid, flit.is_head, flit.phase
+                )
             }
             if not askable:
                 # Nothing this flit needs is available this cycle.  Release
@@ -354,10 +384,12 @@ class Router:
             for port, subset in askable.items():
                 if winners.get(port) != in_port:
                     continue
-                out_vc = self._allocate(port, flit)
+                out_vc = self._allocate(port, flit, flit.phase)
                 grants[port] = (out_vc, subset)
                 flit.granted_ports.add(port)
-                self._forward_lookahead(cycle, port, out_vc, subset, flit)
+                self._forward_lookahead(
+                    cycle, port, out_vc, subset, flit, flit.rheader, flit.phase
+                )
             if not grants:
                 continue
             ip = self.in_ports[in_port]

@@ -1,25 +1,80 @@
-"""Dimension-ordered routing for unicasts and multicast trees.
+"""Routing: mesh geometry, the XY multicast tree, and the pluggable
+unicast routing algorithms.
 
-The chip routes unicasts with deterministic XY routing and multicasts
-along a dimension-ordered XY tree (Section 3.3): a multicast flit first
-travels along the X dimension, and forks copies into the Y dimension
-(and to the local NIC) as it passes the column of each destination.
+The chip routes everything with deterministic dimension-ordered XY
+(Section 3.3); this module generalises the *unicast* routing decision
+into a strategy layer mirroring :mod:`repro.traffic.patterns`:
+
+* ``xy`` / ``yx`` — dimension-ordered deterministic routing (no header
+  state, one VC partition);
+* ``o1turn`` — each packet draws XY or YX order at injection with equal
+  probability, provably halving the worst-case permutation channel
+  load; the chosen order travels in the packet header and selects one
+  of two disjoint VC partitions (XY packets and the XY multicast trees
+  in partition 0, YX packets in partition 1), so each partition's
+  channel-dependency graph stays acyclic;
+* ``valiant`` — each packet draws a uniform-random intermediate node
+  ``w`` at injection and routes XY to ``w`` (phase 0), then XY to the
+  destination (phase 1).  The header holds ``w`` until the packet
+  reaches it, where the router rewrites it to the terminal phase; the
+  two phases use disjoint VC partitions and the phase-0 -> phase-1
+  dependency is acyclic, so the network is deadlock free.
+
+Multicast trees stay XY-only in this PR: a multi-destination packet
+always carries the empty header and routes along the XY tree (a
+multicast flit first travels along the X dimension and forks copies
+into the Y dimension as it passes the column of each destination).
 Because every branch obeys XY ordering, the tree is deadlock free and
-the route of a flit is a pure function of its current router and its
-remaining destination set — no extra header state is needed.
+shares VC partition 0 with XY-ordered unicasts; ``yx`` — whose single
+partition would mix YX turns with the XY tree — therefore rejects
+router-level multicast traffic at bind (see DESIGN.md §5).
+
+Route purity contract: for every algorithm the output-port partition is
+a pure function of ``(router, destinations, header)``; all per-packet
+randomness is consumed once, at injection, into the header.  That is
+what lets :class:`RouteState` memoize routes per network instance (the
+memo dies with the simulation instead of pinning frozensets
+process-wide) and what keeps lookahead pre-allocation and the flit's
+own route computation bit-identical.
+
+Algorithms are frozen dataclasses registered by name and serialize
+through ``to_dict`` / :func:`routing_from_dict`, which is how
+:class:`~repro.noc.config.NocConfig` hashes them into engine cache keys
+and ships them across process boundaries.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from dataclasses import dataclass
 
 from repro.noc.ports import EAST, LOCAL, NORTH, SOUTH, WEST
 
-#: Bound on the route memo.  Routes are pure functions of
-#: ``(router, destinations, k)`` and the working set of any sweep is
-#: tiny (k**2 routers x the destination subsets that actually occur),
-#: so this is a capacity limit, not a tuning knob.
+#: Bound on a :class:`RouteState` memo.  Routes are pure functions of
+#: ``(router, destinations, header)`` and the working set of any sweep
+#: is small (k**2 routers x the destination subsets and headers that
+#: actually occur), so this is a capacity limit, not a tuning knob;
+#: a full memo is dropped wholesale and simply recomputes.
 _ROUTE_CACHE_SIZE = 1 << 16
+
+#: Default seed of the per-node routing PRBS streams of a standalone
+#: network; :meth:`repro.noc.simulator.Simulator.attach_traffic`
+#: reseeds them from the traffic seed so a JobSpec stays a pure value.
+DEFAULT_ROUTING_SEED = 1
+
+#: Salt decorrelating the routing streams from the traffic streams
+#: (which seed ``seed + node``): without it, a routing stream would
+#: replay some node's injection stream verbatim.
+_ROUTING_STREAM_SALT = 0x517CC1B7
+
+
+def _stream_seed(base, node):
+    """A PRBS-31 register state for node's routing stream: non-zero,
+    inside the register, and disjoint from the traffic seeds."""
+    state = ((base * 1_000_003) ^ _ROUTING_STREAM_SALT) + node
+    return state % ((1 << 31) - 2) + 1
+
+
+# ---------------------------------------------------------------- geometry
 
 
 def coords(node, k):
@@ -40,27 +95,33 @@ def xy_distance(src, dst, k):
     return abs(sx - dx) + abs(sy - dy)
 
 
-def route_xy_tree(router, destinations, k):
-    """Partition ``destinations`` over the output ports of ``router``.
+def next_router(router, port, k):
+    """Neighbour reached by leaving ``router`` through mesh port ``port``."""
+    x, y = coords(router, k)
+    if port == NORTH:
+        y += 1
+    elif port == SOUTH:
+        y -= 1
+    elif port == EAST:
+        x += 1
+    elif port == WEST:
+        x -= 1
+    else:
+        raise ValueError(f"port {port} does not lead to a neighbouring router")
+    return node_at(x, y, k)
 
-    Returns a dict ``{port: frozenset(dest subset)}``.  For a unicast
-    (singleton set) this degenerates to classic XY routing.  The
-    partition implements the XY tree: destinations in other columns
-    continue along X; destinations in this column fork into Y; a
-    destination at this router ejects to the NIC.
 
-    The result is memoized (the route is a pure function of the
-    arguments, and the hot loop recomputes it per flit per hop and per
-    lookahead) and therefore shared: callers must treat it as
-    immutable.
+# ------------------------------------------------------- route partitions
+
+
+def _xy_partition(router, destinations, k):
+    """Partition ``destinations`` over the output ports: XY ordering.
+
+    Destinations in other columns continue along X; destinations in
+    this column fork into Y; a destination at this router ejects to the
+    NIC.  For a unicast (singleton set) this degenerates to classic XY
+    routing; for larger sets it is the paper's XY multicast tree.
     """
-    return _route_xy_tree(router, frozenset(destinations), k)
-
-
-@lru_cache(maxsize=_ROUTE_CACHE_SIZE)
-def _route_xy_tree(router, destinations, k):
-    # raising inside the cached function keeps the diagnostic on the
-    # hot paths that call this directly (lru_cache never caches raises)
     if not destinations:
         raise ValueError("routing an empty destination set")
     x, y = coords(router, k)
@@ -91,20 +152,46 @@ def _route_xy_tree(router, destinations, k):
     return out
 
 
-def next_router(router, port, k):
-    """Neighbour reached by leaving ``router`` through mesh port ``port``."""
+def _yx_partition(router, destinations, k):
+    """The YX mirror of :func:`_xy_partition`: Y first, then X."""
+    if not destinations:
+        raise ValueError("routing an empty destination set")
     x, y = coords(router, k)
-    if port == NORTH:
-        y += 1
-    elif port == SOUTH:
-        y -= 1
-    elif port == EAST:
-        x += 1
-    elif port == WEST:
-        x -= 1
-    else:
-        raise ValueError(f"port {port} does not lead to a neighbouring router")
-    return node_at(x, y, k)
+    west, east, north, south, local = [], [], [], [], []
+    for dest in destinations:
+        dx, dy = coords(dest, k)
+        if dy > y:
+            north.append(dest)
+        elif dy < y:
+            south.append(dest)
+        elif dx > x:
+            east.append(dest)
+        elif dx < x:
+            west.append(dest)
+        else:
+            local.append(dest)
+    out = {}
+    if local:
+        out[LOCAL] = frozenset(local)
+    if north:
+        out[NORTH] = frozenset(north)
+    if east:
+        out[EAST] = frozenset(east)
+    if south:
+        out[SOUTH] = frozenset(south)
+    if west:
+        out[WEST] = frozenset(west)
+    return out
+
+
+def route_xy_tree(router, destinations, k):
+    """The XY(-tree) output-port partition of ``destinations``.
+
+    Pure and uncached: the simulator hot path goes through the
+    per-network :class:`RouteState` memo instead; this helper serves
+    the analytical models and tests, which call it cold.
+    """
+    return _xy_partition(router, frozenset(destinations), k)
 
 
 def tree_hop_counts(src, destinations, k):
@@ -124,3 +211,342 @@ def tree_hop_counts(src, destinations, k):
             links += 1
             frontier.append((next_router(router, port, k), subset))
     return links
+
+
+# ------------------------------------------------------------- algorithms
+
+#: name -> algorithm class; populated by :func:`_register`.
+_REGISTRY = {}
+
+
+def _register(cls):
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def routing_names():
+    """The registered algorithm names, sorted (CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+def make_routing(name, **kwargs):
+    """Instantiate a registered routing algorithm by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; "
+            f"choose from {routing_names()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def routing_from_dict(data):
+    """Invert ``to_dict`` for any registered algorithm."""
+    try:
+        name = data["name"]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a serialized routing algorithm: {data!r}") from None
+    kwargs = {k: v for k, v in data.items() if k != "name"}
+    return make_routing(name, **kwargs)
+
+
+@dataclass(frozen=True)
+class RoutingAlgorithm:
+    """A serializable unicast routing strategy.
+
+    Subclasses are stateless values; all per-packet state lives in the
+    *header* drawn once at injection (:meth:`packet_header`) and
+    carried by every flit and lookahead of the packet.  ``None`` is the
+    empty header (XY ordering, phase 0) and is what multicast packets
+    always carry.
+    """
+
+    #: registry key; also the ``--routing`` CLI spelling
+    name = None
+    #: disjoint VC partitions required for deadlock freedom
+    phases = 1
+    #: True when :meth:`advance` may rewrite the header en route
+    advancing = False
+    #: True when :meth:`packet_header` consumes PRBS draws
+    uses_rng = False
+    #: whether unicasts may share the network with XY multicast trees
+    supports_multicast = True
+
+    def validate(self, config):
+        """Raise ValueError if ``config`` cannot host this algorithm.
+
+        A two-phase algorithm needs at least one VC per (message class,
+        phase) pair at every port, or its second phase could never
+        allocate a VC anywhere.
+        """
+        if self.phases <= 1:
+            return
+        counts = {}
+        for spec in config.vcs:
+            counts[spec.mclass] = counts.get(spec.mclass, 0) + 1
+        short = sorted(mc.name for mc, n in counts.items() if n < self.phases)
+        if short:
+            raise ValueError(
+                f"{self.name} routing partitions each message class into "
+                f"{self.phases} disjoint VC sets, but class(es) "
+                f"{', '.join(short)} have fewer than {self.phases} VCs"
+            )
+
+    def vc_partition(self, config):
+        """Phase id of each VC index: position within its class, mod
+        :attr:`phases` (the identity partition for one-phase routing)."""
+        if self.phases <= 1:
+            return (0,) * len(config.vcs)
+        seen = {}
+        partition = []
+        for spec in config.vcs:
+            i = seen.get(spec.mclass, 0)
+            seen[spec.mclass] = i + 1
+            partition.append(i % self.phases)
+        return tuple(partition)
+
+    def packet_header(self, src, destinations, rng, num_nodes):
+        """Draw the per-packet header at injection: (header, phase).
+
+        ``rng`` is the source node's routing PRBS stream; it is only
+        provided (and only consumed) when :attr:`uses_rng` is set and
+        the packet is a unicast — multicast packets always take the
+        empty header and the XY tree.
+        """
+        return None, 0
+
+    def advance(self, node, destinations, header):
+        """Header rewrite on arrival at ``node``: (header, phase).
+
+        Only meaningful when :attr:`advancing` is set (Valiant consumes
+        its intermediate-node field); the default is the identity.
+        """
+        return header, self.phase_of(header)
+
+    def phase_of(self, header):
+        """The VC partition a packet with ``header`` allocates from."""
+        return 0
+
+    def compute_route(self, node, destinations, header, k):
+        """The output-port partition: pure in (node, destinations, header)."""
+        raise NotImplementedError
+
+    def to_dict(self):
+        """A JSON-safe representation that :func:`routing_from_dict` inverts."""
+        return {"name": self.name}
+
+
+@_register
+@dataclass(frozen=True)
+class XYRouting(RoutingAlgorithm):
+    """Dimension-ordered XY — the paper's router, and the default."""
+
+    name = "xy"
+
+    def compute_route(self, node, destinations, header, k):
+        return _xy_partition(node, destinations, k)
+
+
+@_register
+@dataclass(frozen=True)
+class YXRouting(RoutingAlgorithm):
+    """Dimension-ordered YX: Y first, then X.
+
+    The mirror image of XY — identical worst cases, but on transposed
+    patterns, which is exactly what makes it O1TURN's second half.
+    Its single VC partition would mix YX turns with the XY multicast
+    tree, so router-level multicast traffic is rejected at bind.
+    """
+
+    name = "yx"
+    supports_multicast = False
+
+    def compute_route(self, node, destinations, header, k):
+        if len(destinations) > 1:
+            return _xy_partition(node, destinations, k)
+        return _yx_partition(node, destinations, k)
+
+
+@_register
+@dataclass(frozen=True)
+class O1TurnRouting(RoutingAlgorithm):
+    """O1TURN: each packet draws XY or YX order with equal probability.
+
+    Seo et al.'s orthogonal one-turn routing provably halves the
+    worst-case permutation channel load of either dimension order while
+    staying oblivious and minimal.  The drawn order is the header (0 =
+    XY, 1 = YX) and doubles as the VC partition, so the XY sub-network
+    (which also carries the XY multicast trees) and the YX sub-network
+    each keep an acyclic channel-dependency graph.
+    """
+
+    name = "o1turn"
+    phases = 2
+    uses_rng = True
+
+    def packet_header(self, src, destinations, rng, num_nodes):
+        if len(destinations) > 1:
+            return None, 0
+        order = rng.next_bit()
+        return order, order
+
+    def phase_of(self, header):
+        return 0 if header is None else header
+
+    def compute_route(self, node, destinations, header, k):
+        if header == 1:
+            return _yx_partition(node, destinations, k)
+        return _xy_partition(node, destinations, k)
+
+
+@_register
+@dataclass(frozen=True)
+class ValiantRouting(RoutingAlgorithm):
+    """Valiant randomized routing: XY to a random ``w``, then XY on.
+
+    Trades minimality (average path length doubles) for pattern
+    independence: any admissible permutation looks like two uniform
+    random phases, so no adversarial pattern can load a channel beyond
+    twice the uniform average.  The header is the intermediate node
+    while phase 0 is in progress and ``-1`` afterwards; the router at
+    ``w`` performs the rewrite on arrival (:meth:`advance`), which is
+    the only header mutation in the system.  Phase 0 and phase 1 use
+    disjoint VC partitions; both are XY-ordered, so each partition is
+    deadlock free and the 0 -> 1 dependency is acyclic.
+    """
+
+    name = "valiant"
+    phases = 2
+    advancing = True
+    uses_rng = True
+
+    def packet_header(self, src, destinations, rng, num_nodes):
+        if len(destinations) > 1:
+            return None, 0
+        w = rng.next_below(num_nodes)
+        if w == src:
+            # phase 0 would be empty; the packet is born terminal
+            return -1, 1
+        return w, 0
+
+    def phase_of(self, header):
+        return 0 if header is None or header >= 0 else 1
+
+    def advance(self, node, destinations, header):
+        if header is not None and header >= 0 and node == header:
+            return -1, 1
+        return header, self.phase_of(header)
+
+    def compute_route(self, node, destinations, header, k):
+        if len(destinations) > 1:
+            return _xy_partition(node, destinations, k)
+        if header is not None and header >= 0:
+            # phase 0 steers toward the intermediate node but must keep
+            # the true destination as the flit payload: forks copy the
+            # route subset into the downstream flit's destination set
+            (port,) = _xy_partition(node, frozenset((header,)), k)
+            return {port: destinations}
+        return _xy_partition(node, destinations, k)
+
+
+# ------------------------------------------------------------ route state
+
+
+class RouteState:
+    """Per-network routing runtime: memoized routes plus header draws.
+
+    One instance is shared by every router and NIC of a
+    :class:`~repro.noc.mesh.MeshNetwork`, so the route memo lives and
+    dies with the simulation instead of pinning frozensets process-wide
+    across sweeps (the pre-PR-4 module-global ``lru_cache`` did).  The
+    hot-path lookup stays O(1): one dict probe keyed by
+    ``(node, destinations, header)``.
+
+    ``hits`` / ``misses`` are the cache-stats hook the benchmark reads
+    (:meth:`cache_info`).
+    """
+
+    __slots__ = (
+        "algorithm",
+        "k",
+        "num_nodes",
+        "advancing",
+        "capacity",
+        "hits",
+        "misses",
+        "_memo",
+        "_rngs",
+        "_seed",
+        "_compute",
+    )
+
+    def __init__(self, algorithm, k, seed=DEFAULT_ROUTING_SEED,
+                 capacity=_ROUTE_CACHE_SIZE):
+        self.algorithm = algorithm
+        self.k = k
+        self.num_nodes = k * k
+        self.advancing = algorithm.advancing
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._memo = {}
+        self._rngs = {}
+        self._seed = seed
+        self._compute = algorithm.compute_route
+
+    def reseed(self, seed):
+        """Reset the routing streams for a new traffic seed.
+
+        Routes are pure, so the memo survives; only the per-node header
+        rngs restart.  Called by ``Simulator.attach_traffic`` so a
+        JobSpec's result is a pure function of its fields.
+        """
+        if seed != self._seed:
+            self._seed = seed
+            self._rngs.clear()
+
+    def _rng(self, node):
+        rng = self._rngs.get(node)
+        if rng is None:
+            from repro.traffic.prbs import PRBSGenerator
+
+            rng = PRBSGenerator(order=31, seed=_stream_seed(self._seed, node))
+            self._rngs[node] = rng
+        return rng
+
+    def packet_header(self, src, destinations):
+        """Draw the routing header for one packet injected at ``src``."""
+        alg = self.algorithm
+        if not alg.uses_rng or len(destinations) > 1:
+            return alg.packet_header(src, destinations, None, self.num_nodes)
+        return alg.packet_header(src, destinations, self._rng(src), self.num_nodes)
+
+    def advance(self, node, destinations, header):
+        """Header rewrite on arrival at ``node`` (Valiant's phase flip)."""
+        return self.algorithm.advance(node, destinations, header)
+
+    def route(self, node, destinations, header):
+        """The memoized output-port partition; callers must treat the
+        result as immutable (it is shared across flits and lookaheads)."""
+        key = (node, destinations, header)
+        memo = self._memo
+        out = memo.get(key)
+        if out is None:
+            out = self._compute(node, destinations, header, self.k)
+            if len(memo) >= self.capacity:
+                memo.clear()
+            memo[key] = out
+            self.misses += 1
+            return out
+        self.hits += 1
+        return out
+
+    def cache_info(self):
+        """Memo statistics (the benchmark's cache-stats hook)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._memo),
+            "capacity": self.capacity,
+        }

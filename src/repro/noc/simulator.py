@@ -27,8 +27,9 @@ from repro.noc.mesh import MeshNetwork
 from repro.noc.metrics import aggregate, summarize_window
 
 #: Cycles without a single ejection (while work is pending) that we
-#: interpret as a hang; XY routing with conservative VC allocation is
-#: deadlock free, so this trips only on a simulator bug.
+#: interpret as a hang; every routing algorithm keeps its VC
+#: partitions' channel-dependency graphs acyclic (DESIGN.md §5), so
+#: with conservative VC allocation this trips only on a simulator bug.
 WATCHDOG_CYCLES = 10_000
 
 
@@ -53,7 +54,29 @@ class Simulator:
             self.attach_traffic(traffic)
 
     def attach_traffic(self, traffic):
-        """Install a traffic source on every NIC."""
+        """Install a traffic source on every NIC.
+
+        Also binds the routing side of the workload: the network's
+        header-draw streams are reseeded from the traffic seed (so a
+        JobSpec's result is a pure function of its fields) and a
+        multicast-bearing mix is rejected up front when the configured
+        routing algorithm cannot share the network with the XY
+        multicast trees (the ``yx`` restriction of DESIGN.md §5).
+        """
+        routing = self.cfg.routing
+        mix = getattr(traffic, "mix", None)
+        if (
+            mix is not None
+            and self.cfg.multicast
+            and not routing.supports_multicast
+            and any(c.broadcast for c in mix.components)
+        ):
+            raise ValueError(
+                f"{routing.name} routing cannot carry router-level "
+                f"multicast traffic (multicast trees are XY-only); use "
+                f"xy routing or a multicast=False config"
+            )
+        self.network.seed_routing(getattr(traffic, "seed", None))
         traffic.bind(self.cfg)
         for nic in self.network.nics:
             nic.source = traffic

@@ -87,29 +87,47 @@ class InputVC:
 
 
 class OutputVCTracker:
-    """Upstream mirror of a downstream input port's VC state."""
+    """Upstream mirror of a downstream input port's VC state.
 
-    def __init__(self, vc_specs):
+    Free-VC queues are keyed by ``(message class, routing phase)``:
+    VC-partitioned routing algorithms (O1TURN's XY/YX split, Valiant's
+    two phases — see DESIGN.md §5) allocate head flits only from their
+    phase's partition, which is what keeps each partition's channel
+    dependency graph acyclic.  ``phases`` maps VC index to partition;
+    the default (all zeros, single-partition XY/YX) reproduces the
+    historical per-class queues exactly.
+    """
+
+    def __init__(self, vc_specs, phases=None):
         self.specs = tuple(vc_specs)
+        self.phases = (
+            tuple(phases) if phases is not None else (0,) * len(self.specs)
+        )
+        if len(self.phases) != len(self.specs):
+            raise ValueError("one partition phase per VC is required")
         self.owner = [None] * len(self.specs)
         self.credits = [spec.depth for spec in self.specs]
         self._free = {}
-        for mc in {spec.mclass for spec in self.specs}:
-            self._free[mc] = deque(
-                i for i, spec in enumerate(self.specs) if spec.mclass == mc
-            )
+        for i, spec in enumerate(self.specs):
+            key = (spec.mclass, self.phases[i])
+            queue = self._free.get(key)
+            if queue is None:
+                self._free[key] = deque((i,))
+            else:
+                queue.append(i)
         self._owner_vc = {}
 
-    def peek_free(self, mclass):
+    def peek_free(self, mclass, phase=0):
         """The VC the free queue would hand out next, or ``None``."""
-        queue = self._free.get(mclass)
+        queue = self._free.get((mclass, phase))
         if not queue:
             return None
         return queue[0]
 
-    def alloc_head(self, mclass, pid):
-        """Allocate a free VC of ``mclass`` to packet ``pid``; consume a slot."""
-        queue = self._free.get(mclass)
+    def alloc_head(self, mclass, pid, phase=0):
+        """Allocate a free VC of ``(mclass, phase)`` to packet ``pid``;
+        consume a slot."""
+        queue = self._free.get((mclass, phase))
         if not queue:
             return None
         vc = queue.popleft()
@@ -151,7 +169,7 @@ class OutputVCTracker:
                 )
             self.owner[vc] = None
             del self._owner_vc[pid]
-            self._free[self.specs[vc].mclass].append(vc)
+            self._free[(self.specs[vc].mclass, self.phases[vc])].append(vc)
 
     def all_free(self):
         """Whether every VC is unowned with full credits (for drain checks)."""

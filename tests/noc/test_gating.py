@@ -164,28 +164,54 @@ class TestGatedMatchesReference:
 
 
 class TestRouteMemo:
-    def test_memoized_route_is_shared(self):
-        a = route_xy_tree(0, frozenset([5, 10]), 4)
-        b = route_xy_tree(0, frozenset([10, 5]), 4)
+    """The per-network RouteState memo that replaced the module-global
+    lru_cache: shared within a simulation, dropped with it."""
+
+    def test_memoized_route_is_shared_within_a_network(self):
+        rs = Simulator(proposed_network()).network.route_state
+        a = rs.route(0, frozenset([5, 10]), None)
+        b = rs.route(0, frozenset([10, 5]), None)
         assert a is b  # same key -> cached object
 
-    def test_memo_result_matches_fresh_computation(self):
-        from repro.noc.routing import _route_xy_tree
-
+    def test_memo_is_per_network_instance(self):
         dests = frozenset([1, 4, 11])
-        cached = route_xy_tree(6, dests, 4)
-        _route_xy_tree.cache_clear()
-        assert route_xy_tree(6, dests, 4) == cached
+        rs1 = Simulator(proposed_network()).network.route_state
+        rs2 = Simulator(proposed_network()).network.route_state
+        a, b = rs1.route(6, dests, None), rs2.route(6, dests, None)
+        assert a == b
+        assert a is not b  # no process-wide sharing across simulations
+
+    def test_cache_stats_hook(self):
+        rs = Simulator(proposed_network()).network.route_state
+        dests = frozenset([7])
+        rs.route(0, dests, None)
+        rs.route(0, dests, None)
+        info = rs.cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+        assert info["size"] == 1 and info["capacity"] >= 1
+
+    def test_memo_matches_uncached_helper(self):
+        rs = Simulator(proposed_network()).network.route_state
+        dests = frozenset([1, 4, 11])
+        assert rs.route(6, dests, None) == route_xy_tree(6, dests, 4)
 
     def test_empty_destinations_still_rejected(self):
-        from repro.noc.routing import _route_xy_tree
-
         with pytest.raises(ValueError):
             route_xy_tree(0, frozenset(), 4)
-        # the router hot path calls the memoized function directly;
-        # it must raise the same diagnostic, not return {}
+        # the router hot path goes through the memo; it must raise the
+        # same diagnostic, not cache or return {}
+        rs = Simulator(proposed_network()).network.route_state
         with pytest.raises(ValueError):
-            _route_xy_tree(0, frozenset(), 4)
+            rs.route(0, frozenset(), None)
+        assert rs.cache_info()["size"] == 0
 
     def test_normalizes_unhashed_iterables(self):
         assert route_xy_tree(0, {15}, 4) == route_xy_tree(0, frozenset([15]), 4)
+
+    def test_simulation_routes_through_the_shared_memo(self):
+        sim = Simulator(
+            proposed_network(), BernoulliTraffic(MIXED_TRAFFIC, 0.05, seed=7)
+        )
+        sim.run(300)
+        info = sim.network.route_state.cache_info()
+        assert info["hits"] > info["misses"] > 0

@@ -1,0 +1,281 @@
+"""The pluggable routing strategy layer: algorithms, headers, VC
+partitions and serialization (DESIGN.md §5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.config import NocConfig, VCSpec, routed_vc_config
+from repro.noc.flit import MessageClass
+from repro.noc.ports import EAST, LOCAL, NORTH, OPPOSITE, SOUTH, WEST
+from repro.noc.routing import (
+    O1TurnRouting,
+    RouteState,
+    ValiantRouting,
+    XYRouting,
+    YXRouting,
+    coords,
+    make_routing,
+    next_router,
+    route_xy_tree,
+    routing_from_dict,
+    routing_names,
+    xy_distance,
+)
+from repro.noc.vc import OutputVCTracker
+
+
+def walk_unicast(algorithm, src, dst, k, header, max_hops=64):
+    """Follow an algorithm's route hop by hop; returns (path, hops)."""
+    here, hops, path = src, 0, [src]
+    dests = frozenset([dst])
+    while True:
+        header, _phase = algorithm.advance(here, dests, header)
+        route = algorithm.compute_route(here, dests, header, k)
+        assert len(route) == 1, f"unicast fan-out at {here}: {route}"
+        port, subset = next(iter(route.items()))
+        assert subset == dests, "payload destinations must survive the hop"
+        if port == LOCAL:
+            return path, hops
+        here = next_router(here, port, k)
+        path.append(here)
+        hops += 1
+        assert hops <= max_hops
+
+
+class TestRegistry:
+    def test_names(self):
+        assert routing_names() == ["o1turn", "valiant", "xy", "yx"]
+
+    def test_make_routing_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown routing"):
+            make_routing("zigzag")
+
+    @pytest.mark.parametrize("name", ("xy", "yx", "o1turn", "valiant"))
+    def test_to_dict_round_trip(self, name):
+        alg = make_routing(name)
+        assert routing_from_dict(alg.to_dict()) == alg
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            routing_from_dict({"nom": "xy"})
+        with pytest.raises(ValueError):
+            routing_from_dict("xy")
+
+
+class TestYXRouting:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_progress_and_dimension_order(self, src, dst):
+        path, hops = walk_unicast(YXRouting(), src, dst, 4, None)
+        assert hops == xy_distance(src, dst, 4)
+        # Y moves must all precede X moves
+        moves = [
+            "x" if coords(a, 4)[1] == coords(b, 4)[1] else "y"
+            for a, b in zip(path, path[1:])
+        ]
+        assert moves == ["y"] * moves.count("y") + ["x"] * moves.count("x")
+
+    def test_single_phase_no_header(self):
+        alg = YXRouting()
+        assert alg.phases == 1 and not alg.advancing and not alg.uses_rng
+        assert alg.packet_header(0, frozenset([5]), None, 16) == (None, 0)
+
+    def test_rejects_router_level_multicast_at_bind(self):
+        from repro.core.presets import proposed_network
+        from repro.noc.simulator import Simulator
+        from repro.traffic.generators import BernoulliTraffic
+        from repro.traffic.mix import MIXED_TRAFFIC
+
+        cfg = proposed_network(routing=YXRouting())
+        with pytest.raises(ValueError, match="multicast"):
+            Simulator(cfg, BernoulliTraffic(MIXED_TRAFFIC, 0.05, seed=7))
+
+    def test_baseline_expansion_is_allowed(self):
+        from repro.core.presets import baseline_network
+        from repro.noc.simulator import Simulator
+        from repro.traffic.generators import BernoulliTraffic
+        from repro.traffic.mix import MIXED_TRAFFIC
+
+        cfg = baseline_network(routing=YXRouting())
+        sim = Simulator(cfg, BernoulliTraffic(MIXED_TRAFFIC, 0.02, seed=7))
+        stats = sim.run_experiment(warmup=50, measure=200, drain=1000)
+        assert stats.incomplete_messages == 0
+
+
+class TestO1TurnRouting:
+    def test_header_selects_dimension_order(self):
+        alg = O1TurnRouting()
+        dests = frozenset([15])
+        assert alg.compute_route(0, dests, 0, 4) == route_xy_tree(0, dests, 4)
+        # YX from node 0 to node 15 heads NORTH first, not EAST
+        assert set(alg.compute_route(0, dests, 1, 4)) == {NORTH}
+
+    def test_header_draw_is_a_fair_coin(self):
+        rs = RouteState(O1TurnRouting(), 4, seed=7)
+        draws = [rs.packet_header(3, frozenset([9]))[0] for _ in range(400)]
+        assert set(draws) == {0, 1}
+        assert 120 < sum(draws) < 280  # fair-ish PRBS coin
+
+    def test_phase_equals_order(self):
+        alg = O1TurnRouting()
+        assert alg.phase_of(0) == 0 and alg.phase_of(1) == 1
+        assert alg.phase_of(None) == 0  # multicast tree partition
+
+    def test_multicast_takes_the_xy_tree(self):
+        alg = O1TurnRouting()
+        dests = frozenset(range(16))
+        assert alg.packet_header(5, dests, None, 16) == (None, 0)
+        assert alg.compute_route(5, dests, None, 4) == route_xy_tree(5, dests, 4)
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_both_orders_are_minimal(self, src, dst, order):
+        _path, hops = walk_unicast(O1TurnRouting(), src, dst, 4, order)
+        assert hops == xy_distance(src, dst, 4)
+
+
+class TestValiantRouting:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_two_phase_walk(self, src, dst, w):
+        alg = ValiantRouting()
+        header = w if w != src else -1
+        path, hops = walk_unicast(alg, src, dst, 4, header)
+        assert path[-1] == dst
+        if w != src:
+            assert w in path
+        assert hops == xy_distance(src, w, 4) + xy_distance(w, dst, 4)
+
+    def test_advance_flips_exactly_at_the_intermediate(self):
+        alg = ValiantRouting()
+        dests = frozenset([3])
+        assert alg.advance(2, dests, 9) == (9, 0)
+        assert alg.advance(9, dests, 9) == (-1, 1)
+        assert alg.advance(9, dests, -1) == (-1, 1)
+        assert alg.advance(9, dests, None) == (None, 0)  # multicast tree
+
+    def test_header_draw_range_and_self_pick(self):
+        rs = RouteState(ValiantRouting(), 4, seed=11)
+        seen_terminal = False
+        for src in range(16):
+            for _ in range(50):
+                header, phase = rs.packet_header(src, frozenset([(src + 1) % 16]))
+                if header == -1:
+                    assert phase == 1  # w == src: born terminal
+                    seen_terminal = True
+                else:
+                    assert 0 <= header < 16 and phase == 0
+        assert seen_terminal
+
+    def test_phase1_route_keeps_payload_destinations(self):
+        # the route must steer toward w while the flit still carries
+        # its true destination set (forks copy the subset downstream)
+        alg = ValiantRouting()
+        dests = frozenset([3])
+        route = alg.compute_route(0, dests, 12, 4)  # w=12 is due north
+        assert route == {NORTH: dests}
+
+
+class TestVCPartition:
+    def test_single_phase_identity(self):
+        cfg = NocConfig()
+        assert cfg.vc_phases == (0,) * 6
+
+    def test_two_phase_alternation(self):
+        cfg = NocConfig(routing=O1TurnRouting())
+        # REQUEST VCs 0-3 alternate, RESPONSE VCs 4-5 alternate
+        assert cfg.vc_phases == (0, 1, 0, 1, 0, 1)
+
+    def test_validation_needs_two_vcs_per_class(self):
+        vcs = (
+            VCSpec(MessageClass.REQUEST, 1),
+            VCSpec(MessageClass.REQUEST, 1),
+            VCSpec(MessageClass.RESPONSE, 3),
+        )
+        with pytest.raises(ValueError, match="RESPONSE"):
+            NocConfig(vcs=vcs, routing=ValiantRouting())
+        NocConfig(vcs=vcs)  # single-phase XY is fine
+
+    def test_tracker_allocates_within_partition_only(self):
+        cfg = NocConfig(routing=O1TurnRouting())
+        t = OutputVCTracker(cfg.vcs, cfg.vc_phases)
+        a = t.alloc_head(MessageClass.REQUEST, 1, phase=0)
+        b = t.alloc_head(MessageClass.REQUEST, 2, phase=0)
+        assert {a, b} == {0, 2}
+        assert t.peek_free(MessageClass.REQUEST, 0) is None
+        # partition 1 is untouched
+        assert t.peek_free(MessageClass.REQUEST, 1) == 1
+
+    def test_default_tracker_behaviour_is_unchanged(self):
+        cfg = NocConfig()
+        t = OutputVCTracker(cfg.vcs, cfg.vc_phases)
+        order = [t.alloc_head(MessageClass.REQUEST, i) for i in range(4)]
+        assert order == [0, 1, 2, 3]
+        assert t.alloc_head(MessageClass.REQUEST, 9) is None
+
+    def test_routed_vc_config_partitions_like_the_chip(self):
+        cfg = NocConfig(vcs=routed_vc_config(), routing=O1TurnRouting())
+        # each partition holds the chip's original 4 request + 1 response
+        assert cfg.vc_phases.count(0) == cfg.vc_phases.count(1) == 5
+
+
+class TestConfigSerialization:
+    def test_default_routing_is_omitted(self):
+        data = NocConfig().to_dict()
+        assert "routing" not in data
+        assert NocConfig.from_dict(data) == NocConfig()
+
+    def test_explicit_xy_normalises_to_the_default(self):
+        assert NocConfig(routing=XYRouting()) == NocConfig()
+        assert NocConfig(routing=None) == NocConfig()
+        assert "routing" not in NocConfig(routing=XYRouting()).to_dict()
+
+    @pytest.mark.parametrize("name", ("yx", "o1turn", "valiant"))
+    def test_non_default_round_trips(self, name):
+        cfg = NocConfig(routing=make_routing(name))
+        data = cfg.to_dict()
+        assert data["routing"] == {"name": name}
+        assert NocConfig.from_dict(data) == cfg
+
+    def test_jobspec_cache_keys_stay_byte_identical(self):
+        from repro.engine.jobspec import JobSpec
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        default = JobSpec(config=NocConfig(), mix=UNIFORM_UNICAST, rate=0.1)
+        explicit = JobSpec(
+            config=NocConfig(routing=XYRouting()), mix=UNIFORM_UNICAST, rate=0.1
+        )
+        assert "routing" not in default.canonical_json()
+        assert explicit.cache_key == default.cache_key
+        routed = JobSpec(
+            config=NocConfig(routing=O1TurnRouting()),
+            mix=UNIFORM_UNICAST,
+            rate=0.1,
+        )
+        assert routed.cache_key != default.cache_key
+        assert JobSpec.from_dict(routed.to_dict()) == routed
+        assert routed.routing == O1TurnRouting()
+
+
+class TestRouteStateStreams:
+    def test_reseed_restarts_header_draws(self):
+        a = RouteState(ValiantRouting(), 4, seed=3)
+        b = RouteState(ValiantRouting(), 4, seed=3)
+        dests = frozenset([7])
+        seq_a = [a.packet_header(0, dests) for _ in range(20)]
+        assert [b.packet_header(0, dests) for _ in range(20)] == seq_a
+        b.reseed(4)
+        diverged = [b.packet_header(0, dests) for _ in range(20)]
+        b.reseed(3)
+        assert [b.packet_header(0, dests) for _ in range(20)] == seq_a
+        assert diverged != seq_a
+
+    def test_streams_are_per_source_node(self):
+        rs = RouteState(ValiantRouting(), 4, seed=3)
+        dests = frozenset([7])
+        seq0 = [rs.packet_header(0, dests)[0] for _ in range(30)]
+        seq1 = [rs.packet_header(1, dests)[0] for _ in range(30)]
+        assert seq0 != seq1
+
+    def test_capacity_bound_clears_instead_of_growing(self):
+        rs = RouteState(XYRouting(), 4, capacity=8)
+        for d in range(16):
+            rs.route(0, frozenset([d]), None)
+        assert rs.cache_info()["size"] <= 8
