@@ -2,11 +2,14 @@
 
 Measures cycles/second of the activity-gated loop and of the ungated
 reference loop at low / mid / saturation load on 4x4 and 8x8 meshes
-(mixed traffic, the Fig. 5 operating regime), plus an O1TURN-routed
-fig5 mid point whose ``vs_xy_mid`` ratio (gated o1turn / gated xy,
-same process, same budgets) pins the cost of the routing-strategy
-indirection; results go to ``BENCH_core.json`` so the speedup
-trajectory is pinned across PRs.
+(mixed traffic, the Fig. 5 operating regime), plus two instrumented
+fig5 mid points: an O1TURN-routed one whose ``vs_xy_mid`` ratio (gated
+o1turn / gated xy, same process, same budgets) pins the cost of the
+routing-strategy indirection, and an on-off-injected one whose
+``vs_bernoulli_mid`` ratio pins the cost of the injection-process
+indirection (the per-cycle ``ChainState.pulse`` dispatch plus the
+private chain stream, riding the same hot path); results go to
+``BENCH_core.json`` so the speedup trajectory is pinned across PRs.
 
 Usage::
 
@@ -36,8 +39,9 @@ from repro.harness.sweep import default_rates
 from repro.noc.config import NocConfig
 from repro.noc.routing import make_routing
 from repro.noc.simulator import Simulator
-from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.generators import SyntheticTraffic
 from repro.traffic.mix import MIXED_TRAFFIC
+from repro.traffic.processes import OnOffProcess
 
 #: Fig. 5 operating points for the 4x4 chip; low/mid/saturation for
 #: larger meshes are derived from the mix's theoretical rate grid.
@@ -73,11 +77,11 @@ def load_points(k):
     return {"low": grid[0], "mid": grid[3], "saturation": grid[7]}
 
 
-def time_loop(k, rate, cycles, warmup, gated, routing=None):
+def time_loop(k, rate, cycles, warmup, gated, routing=None, process=None):
     cfg = NocConfig(k=k) if routing is None else NocConfig(
         k=k, routing=make_routing(routing)
     )
-    traffic = BernoulliTraffic(MIXED_TRAFFIC, rate, seed=7)
+    traffic = SyntheticTraffic(MIXED_TRAFFIC, rate, seed=7, process=process)
     sim = Simulator(cfg, traffic, gated=gated)
     sim.run(warmup)
     start = time.perf_counter()
@@ -130,36 +134,54 @@ def measure(quick=False, budgets=None, repeats=2):
                 file=sys.stderr,
             )
         if k == 4:
-            # the o1turn fig5 mid point: ``vs_xy_mid`` (gated o1turn /
-            # gated xy, same process and budgets) is the strategy-
-            # indirection gate — header state, per-phase VC queues and
-            # the RouteState memo ride the identical hot path, so a
-            # drop of this ratio is a routing-layer regression, not
-            # runner noise
-            load, rate = "mid-o1turn", load_points(4)["mid"]
-            budget = default
-            if budgets:
-                budget = budgets.get(("4x4", load), default)
-            gated = best(4, rate, budget, warmup, True, routing="o1turn")
-            reference = best(4, rate, budget, warmup, False, routing="o1turn")
-            points.append(
-                {
-                    "mesh": "4x4",
-                    "load": load,
-                    "rate": round(rate, 6),
-                    "cycles_timed": budget,
-                    "gated_cycles_per_sec": round(gated, 1),
-                    "reference_cycles_per_sec": round(reference, 1),
-                    "speedup": round(gated / reference, 3),
-                    "vs_xy_mid": round(gated / gated_by_load["mid"], 3),
-                }
-            )
-            print(
-                f"4x4 {load:10s} rate={rate:.4f}  "
-                f"gated={gated:10,.0f} c/s  reference={reference:10,.0f} c/s  "
-                f"speedup={gated / reference:.2f}x  "
-                f"vs_xy_mid={gated / gated_by_load['mid']:.2f}x",
-                file=sys.stderr,
+            # instrumented fig5 mid points: each re-times the mid load
+            # with one indirection layer engaged and pins its cost as
+            # a gated/gated ratio against the plain mid point (same
+            # process, same budgets — machine-robust like ``speedup``):
+            #
+            # * ``vs_xy_mid`` prices the routing-strategy indirection
+            #   (header state, per-phase VC queues, the RouteState
+            #   memo ride the identical hot path);
+            # * ``vs_bernoulli_mid`` prices the injection-process
+            #   indirection (the per-cycle ChainState.pulse dispatch
+            #   plus the private chain stream).
+            #
+            # A drop of either ratio is a regression in that layer,
+            # not runner noise.
+            def instrumented(load, ratio_key, **kwargs):
+                rate = load_points(4)["mid"]
+                budget = default
+                if budgets:
+                    budget = budgets.get(("4x4", load), default)
+                gated = best(4, rate, budget, warmup, True, **kwargs)
+                reference = best(4, rate, budget, warmup, False, **kwargs)
+                ratio = gated / gated_by_load["mid"]
+                points.append(
+                    {
+                        "mesh": "4x4",
+                        "load": load,
+                        "rate": round(rate, 6),
+                        "cycles_timed": budget,
+                        "gated_cycles_per_sec": round(gated, 1),
+                        "reference_cycles_per_sec": round(reference, 1),
+                        "speedup": round(gated / reference, 3),
+                        ratio_key: round(ratio, 3),
+                    }
+                )
+                print(
+                    f"4x4 {load:10s} rate={rate:.4f}  "
+                    f"gated={gated:10,.0f} c/s  "
+                    f"reference={reference:10,.0f} c/s  "
+                    f"speedup={gated / reference:.2f}x  "
+                    f"{ratio_key}={ratio:.2f}x",
+                    file=sys.stderr,
+                )
+
+            instrumented("mid-o1turn", "vs_xy_mid", routing="o1turn")
+            instrumented(
+                "mid-onoff",
+                "vs_bernoulli_mid",
+                process=OnOffProcess(burst_length=8.0),
             )
     return {
         "schema": 1,
@@ -171,9 +193,10 @@ def measure(quick=False, budgets=None, repeats=2):
 
 def check(result, baseline, tolerance):
     """Fail (return nonzero) if any point's gated/reference speedup —
-    or the o1turn point's ``vs_xy_mid`` strategy-indirection ratio —
-    regressed, or any baseline point went unmeasured (a
-    silently-vacuous gate is worse than a failing one)."""
+    or the o1turn point's ``vs_xy_mid`` / the on-off point's
+    ``vs_bernoulli_mid`` indirection ratio — regressed, or any
+    baseline point went unmeasured (a silently-vacuous gate is worse
+    than a failing one)."""
     expected = {(p["mesh"], p["load"]): p for p in baseline["points"]}
     failures = []
     covered = set()
@@ -182,7 +205,7 @@ def check(result, baseline, tolerance):
         if key not in expected:
             continue
         covered.add(key)
-        for metric in ("speedup", "vs_xy_mid"):
+        for metric in ("speedup", "vs_xy_mid", "vs_bernoulli_mid"):
             want = expected[key].get(metric)
             if want is None:
                 continue

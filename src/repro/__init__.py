@@ -16,8 +16,10 @@ Package map:
 - :mod:`repro.engine` — parallel experiment engine with a persistent
   result cache (CLI: ``python -m repro``)
 - :mod:`repro.core` — the paper's design points (baseline/strawman/proposed)
-- :mod:`repro.traffic` — Bernoulli/PRBS traffic, the paper's mixes and
-  spatial destination patterns (transpose, tornado, hotspot, ...)
+- :mod:`repro.traffic` — synthetic traffic as injection process x mix x
+  destination pattern: temporal processes (bernoulli, bursty on-off,
+  MMP), the paper's mixes, and spatial patterns (transpose, tornado,
+  hotspot, ...)
 - :mod:`repro.analysis` — theoretical limits and prototype comparisons
 - :mod:`repro.circuits` — low-swing RSD / wire / sense-amp circuit models
 - :mod:`repro.power` — calibrated, ORION-style and post-layout power models

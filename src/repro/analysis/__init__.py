@@ -1,5 +1,16 @@
 """Closed-form analysis: theoretical mesh limits and chip comparisons."""
 
+from repro.analysis.burstiness import (
+    burstiness_timescale,
+    dispersion_index,
+    expected_onset_rate,
+    mean_rate,
+    peak_rate,
+    rate_cv2,
+    saturation_shift,
+    stationary_distribution,
+    state_flit_rates,
+)
 from repro.analysis.limits import MeshLimits
 from repro.analysis.pattern_limits import (
     channel_load_map,
@@ -19,12 +30,21 @@ __all__ = [
     "ChipPrototype",
     "MeshLimits",
     "PROTOTYPES",
+    "burstiness_timescale",
     "channel_load_map",
+    "dispersion_index",
+    "expected_onset_rate",
     "find_saturation",
     "max_channel_load",
     "max_ejection_indegree",
+    "mean_rate",
     "pattern_saturation_rate",
+    "peak_rate",
     "prototype_comparison",
+    "rate_cv2",
+    "saturation_shift",
     "saturation_throughput",
+    "state_flit_rates",
+    "stationary_distribution",
     "zero_load_latency",
 ]

@@ -39,6 +39,11 @@ from repro.harness.tables import format_series
 from repro.noc.routing import make_routing, routing_names
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.patterns import HotspotPattern, make_pattern, pattern_names
+from repro.traffic.processes import (
+    MMPProcess,
+    OnOffProcess,
+    process_names,
+)
 
 CONFIGS = {
     "proposed": proposed_network,
@@ -84,16 +89,20 @@ def _positive_int(text):
     return value
 
 
-def _parse_rates(text):
+def _parse_floats(text, what="value"):
     try:
-        rates = [float(r) for r in text.split(",") if r.strip()]
+        values = tuple(float(v) for v in text.split(",") if v.strip())
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"rates must be comma-separated floats, got {text!r}"
+            f"expected comma-separated numbers, got {text!r}"
         ) from None
-    if not rates:
-        raise argparse.ArgumentTypeError("at least one rate is required")
-    return rates
+    if not values:
+        raise argparse.ArgumentTypeError(f"at least one {what} is required")
+    return values
+
+
+def _parse_rates(text):
+    return list(_parse_floats(text, what="rate"))
 
 
 def _parse_nodes(text):
@@ -130,6 +139,87 @@ def _add_pattern_args(parser):
         metavar="F",
         help="fraction of unicasts aimed at the hot nodes (default: 0.5)",
     )
+
+
+def _add_injection_args(parser):
+    group = parser.add_argument_group("temporal injection process")
+    group.add_argument(
+        "--injection",
+        choices=process_names(),
+        default="bernoulli",
+        help="temporal injection process (default: bernoulli, the "
+        "paper's memoryless workload)",
+    )
+    group.add_argument(
+        "--burst-length",
+        type=float,
+        default=None,
+        metavar="L",
+        help="mean ON-burst length in cycles (requires --injection "
+        "onoff; default: 8)",
+    )
+    group.add_argument(
+        "--on-rate",
+        type=float,
+        default=None,
+        metavar="R1",
+        help="flit rate while ON (requires --injection onoff; "
+        "default: 1.0, full speed)",
+    )
+    group.add_argument(
+        "--mmp-levels",
+        type=_parse_floats,
+        default=None,
+        metavar="L1,L2,...",
+        help="relative rate of each MMP state (requires --injection mmp)",
+    )
+    group.add_argument(
+        "--mmp-dwells",
+        type=_parse_floats,
+        default=None,
+        metavar="D1,D2,...",
+        help="mean dwell cycles of each MMP state (requires "
+        "--injection mmp)",
+    )
+
+
+def _make_injection(args):
+    """The InjectionProcess selected by the CLI flags (None = the
+    Bernoulli default, so default cache keys stay byte-identical)."""
+    if args.injection == "onoff":
+        if args.mmp_levels is not None or args.mmp_dwells is not None:
+            raise ValueError(
+                "--mmp-levels/--mmp-dwells only apply to --injection mmp"
+            )
+        kwargs = {}
+        if args.burst_length is not None:
+            kwargs["burst_length"] = args.burst_length
+        if args.on_rate is not None:
+            kwargs["on_rate"] = args.on_rate
+        return OnOffProcess(**kwargs)
+    if args.injection == "mmp":
+        if args.burst_length is not None or args.on_rate is not None:
+            raise ValueError(
+                "--burst-length/--on-rate only apply to --injection onoff"
+            )
+        kwargs = {}
+        if args.mmp_levels is not None:
+            kwargs["levels"] = args.mmp_levels
+        if args.mmp_dwells is not None:
+            kwargs["dwells"] = args.mmp_dwells
+        return MMPProcess(**kwargs)
+    for flag, value in (
+        ("--burst-length", args.burst_length),
+        ("--on-rate", args.on_rate),
+        ("--mmp-levels", args.mmp_levels),
+        ("--mmp-dwells", args.mmp_dwells),
+    ):
+        if value is not None:
+            raise ValueError(
+                f"{flag} only applies to a bursty --injection process, "
+                f"not {args.injection!r}"
+            )
+    return None
 
 
 def _add_routing_args(parser):
@@ -252,6 +342,7 @@ def cmd_sweep(args):
         config = config.with_(routing=routing)
     mix = MIXES[args.mix]
     pattern = _make_traffic_pattern(args)
+    injection = _make_injection(args)
     rates = args.rates or default_rates(
         mix,
         config.num_nodes,
@@ -259,6 +350,7 @@ def cmd_sweep(args):
         headroom=args.headroom,
         pattern=pattern,
         routing=routing,
+        injection=injection,
     )
     executor = _make_executor(args)
     points = run_sweep(
@@ -272,11 +364,12 @@ def cmd_sweep(args):
         measure=args.measure,
         drain=args.drain,
         pattern=pattern,
+        injection=injection,
     )
     _print_sweep(
         {args.config: points},
-        f"{args.config} / {mix.name} / {args.pattern} / {args.routing} "
-        f"latency-throughput sweep",
+        f"{args.config} / {mix.name} / {args.pattern} / {args.routing} / "
+        f"{args.injection} latency-throughput sweep",
     )
     _print_engine_summary(executor)
     return 0
@@ -290,6 +383,7 @@ def cmd_figure(args):
             executor=executor,
             pattern=_make_traffic_pattern(args),
             routing=_make_routing(args),
+            injection=_make_injection(args),
         )
         if args.rates is not None:
             kwargs["rates"] = args.rates
@@ -322,8 +416,13 @@ def cmd_figure(args):
             or args.seed != DEFAULT_SEED
             or args.pattern != "uniform"
             or args.routing != "xy"
+            or args.injection != "bernoulli"
             or args.hotspot is not None
             or args.hotspot_fraction is not None
+            or args.burst_length is not None
+            or args.on_rate is not None
+            or args.mmp_levels is not None
+            or args.mmp_dwells is not None
         )
         if engine_flags or window_flags:
             print(
@@ -388,6 +487,7 @@ def build_parser():
     )
     _add_pattern_args(sweep)
     _add_routing_args(sweep)
+    _add_injection_args(sweep)
     _add_cycle_args(sweep, defaults=True)
     _add_engine_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -407,6 +507,7 @@ def build_parser():
     )
     _add_pattern_args(figure)
     _add_routing_args(figure)
+    _add_injection_args(figure)
     _add_cycle_args(figure, defaults=False)
     _add_engine_args(figure)
     figure.set_defaults(func=cmd_figure)

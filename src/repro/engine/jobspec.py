@@ -17,9 +17,10 @@ from dataclasses import dataclass
 
 from repro.noc.config import NocConfig
 from repro.noc.simulator import Simulator
-from repro.traffic.generators import BernoulliTraffic
+from repro.traffic.generators import SyntheticTraffic
 from repro.traffic.mix import TrafficMix
 from repro.traffic.patterns import UniformPattern, pattern_from_dict
+from repro.traffic.processes import BernoulliProcess, process_from_dict
 
 #: The paper's Section 4.1 measurement methodology; the single source
 #: for every layer that exposes window defaults (JobSpec, run_point,
@@ -47,6 +48,10 @@ class JobSpec:
     #: paper's uniform-random default (and an explicitly-passed
     #: UniformPattern is normalised to None, so equal jobs stay equal)
     pattern: object = None
+    #: temporal injection process; ``None`` means the paper's Bernoulli
+    #: default (and an explicitly-passed BernoulliProcess is normalised
+    #: to None, so equal jobs stay equal)
+    injection: object = None
 
     @property
     def routing(self):
@@ -68,15 +73,20 @@ class JobSpec:
             object.__setattr__(self, "pattern", None)
         if self.pattern is not None:
             self.pattern.validate(self.config.k)
+        if self.injection == BernoulliProcess():
+            object.__setattr__(self, "injection", None)
+        if self.injection is not None:
+            self.injection.validate(self.rate)
 
     # ------------------------------------------------------------ identity
 
     def to_dict(self):
         """A JSON-safe representation that :meth:`from_dict` inverts.
 
-        The ``pattern`` key is omitted for the uniform default so that
-        pre-pattern cache keys (and on-disk ``.repro_cache/`` entries)
-        stay valid byte for byte.
+        The ``pattern`` key is omitted for the uniform default and the
+        ``injection`` key for the Bernoulli default, so that
+        pre-pattern and pre-process cache keys (and on-disk
+        ``.repro_cache/`` entries) stay valid byte for byte.
         """
         data = {
             "config": self.config.to_dict(),
@@ -91,11 +101,14 @@ class JobSpec:
         }
         if self.pattern is not None:
             data["pattern"] = self.pattern.to_dict()
+        if self.injection is not None:
+            data["injection"] = self.injection.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data):
         pattern = data.get("pattern")
+        injection = data.get("injection")
         return cls(
             config=NocConfig.from_dict(data["config"]),
             mix=TrafficMix.from_dict(data["mix"]),
@@ -107,6 +120,9 @@ class JobSpec:
             identical_generators=bool(data["identical_generators"]),
             name=data["name"],
             pattern=pattern_from_dict(pattern) if pattern is not None else None,
+            injection=(
+                process_from_dict(injection) if injection is not None else None
+            ),
         )
 
     def canonical_json(self):
@@ -124,12 +140,13 @@ class JobSpec:
 
     def run(self):
         """Simulate this point on a fresh network; returns WindowStats."""
-        traffic = BernoulliTraffic(
+        traffic = SyntheticTraffic(
             self.mix,
             self.rate,
             seed=self.seed,
             identical_generators=self.identical_generators,
             pattern=self.pattern,
+            process=self.injection,
         )
         sim = Simulator(self.config, traffic, name=self.name)
         return sim.run_experiment(

@@ -10,6 +10,8 @@ methodology.
 
 from __future__ import annotations
 
+import sys
+
 from repro.analysis.limits import MeshLimits
 from repro.analysis.prototypes import prototype_comparison
 from repro.analysis.saturation import find_saturation, saturation_throughput
@@ -113,6 +115,7 @@ def fig5_mixed_traffic(
     executor=None,
     pattern=None,
     routing=None,
+    injection=None,
 ):
     """Fig. 5: latency vs injection for mixed traffic at 1 GHz.
 
@@ -121,20 +124,29 @@ def fig5_mixed_traffic(
     :class:`~repro.engine.Executor`) selects the execution backend and
     result cache; the default is serial and uncached.  ``pattern``
     replaces the paper's uniform unicast destinations with a spatial
-    :class:`~repro.traffic.patterns.DestinationPattern`, and
-    ``routing`` swaps the unicast routing algorithm (a
-    :class:`~repro.noc.routing.RoutingAlgorithm`); the limit lines are
-    only exact for the uniform-XY default.
+    :class:`~repro.traffic.patterns.DestinationPattern`, ``routing``
+    swaps the unicast routing algorithm (a
+    :class:`~repro.noc.routing.RoutingAlgorithm`), and ``injection``
+    swaps the temporal process (an
+    :class:`~repro.traffic.processes.InjectionProcess` — bursty
+    processes offer the same mean load but reach saturation earlier);
+    the limit lines are only exact for the uniform-XY-Bernoulli
+    default.
     """
     lim = MeshLimits(4)
     if rates is None:
-        if pattern is None and routing is None:
+        if pattern is None and routing is None and injection is None:
             rates = [0.02, 0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.21]
         else:
             # adversarial patterns (or non-default routing) saturate
-            # away from the uniform grid; bracket their own ceiling
+            # away from the uniform grid; bracket their own ceiling,
+            # clamped to what the injection process can express
             rates = default_rates(
-                MIXED_TRAFFIC, 16, pattern=pattern, routing=routing
+                MIXED_TRAFFIC,
+                16,
+                pattern=pattern,
+                routing=routing,
+                injection=injection,
             )
     sweeps = _paired_sweeps(
         MIXED_TRAFFIC,
@@ -146,6 +158,7 @@ def fig5_mixed_traffic(
         drain=drain,
         seed=seed,
         pattern=pattern,
+        injection=injection,
     )
     proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     weights = {c.name: c.weight for c in MIXED_TRAFFIC.components}
@@ -174,6 +187,7 @@ def fig13_broadcast_traffic(
     executor=None,
     pattern=None,
     routing=None,
+    injection=None,
 ):
     """Fig. 13 / Appendix D: broadcast-only latency vs injection.
 
@@ -182,11 +196,34 @@ def fig13_broadcast_traffic(
     along the XY multicast tree under every algorithm, and this mix
     has no unicast component, so neither knob can change a single
     flit — honouring them would only fork the cache keys and
-    re-simulate identical results.
+    re-simulate identical results.  ``injection`` is honoured: the
+    temporal process decides *when* broadcasts are injected, so bursty
+    processes genuinely change this figure.
     """
     lim = MeshLimits(4)
     if rates is None:
         rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.072]
+        if injection is not None:
+            kept = [r for r in rates if r <= injection.max_rate()]
+            if not kept:
+                raise ValueError(
+                    f"the {injection.name} process cannot express any of "
+                    f"fig13's default rates (max "
+                    f"{injection.max_rate():.4g} flits/node/cycle); pass "
+                    f"explicit rates within its range"
+                )
+            if len(kept) < len(rates):
+                # never truncate silently: a shorter grid changes what
+                # find_saturation can see, and that must read as a
+                # coverage limit, not a workload effect
+                print(
+                    f"note: fig13 rates above the {injection.name} "
+                    f"process's expressible mean "
+                    f"({injection.max_rate():.4g}) dropped: "
+                    f"{[r for r in rates if r not in kept]}",
+                    file=sys.stderr,
+                )
+            rates = kept
     sweeps = _paired_sweeps(
         BROADCAST_ONLY,
         rates,
@@ -195,6 +232,7 @@ def fig13_broadcast_traffic(
         measure=measure,
         drain=drain,
         seed=seed,
+        injection=injection,
     )
     proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     return {

@@ -32,6 +32,7 @@ def run_point(
     identical_generators=False,
     name="",
     pattern=None,
+    injection=None,
 ):
     """Simulate one operating point; returns WindowStats."""
     return JobSpec(
@@ -45,6 +46,7 @@ def run_point(
         identical_generators=identical_generators,
         name=name,
         pattern=pattern,
+        injection=injection,
     ).run()
 
 
@@ -90,7 +92,7 @@ def run_sweep_batch(named_configs, mix, rates, executor=None, **kwargs):
 
 
 def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None,
-                  routing=None):
+                  routing=None, injection=None):
     """A sensible rate grid from near-zero load past the mix's ceiling.
 
     With a spatial ``pattern`` and/or a non-default ``routing``
@@ -98,7 +100,12 @@ def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None,
     :func:`repro.analysis.pattern_limits.pattern_saturation_rate`
     (e.g. the halved permutation channel load of O1TURN, or Valiant's
     2x-uniform load), so the grid brackets where that combination
-    actually saturates rather than where uniform XY would.
+    actually saturates rather than where uniform XY would.  A bursty
+    ``injection`` process saturates at or before the same wall (the
+    mean-rate identity of :mod:`repro.analysis.burstiness`), so the
+    grid keeps the wall's bracket but is clamped to the largest mean
+    rate the process can express (an on-off OFF gap cannot shrink
+    below one cycle).
     """
     if pattern is None and routing is None:
         ceiling = mix.saturation_injection_rate(num_nodes)
@@ -110,4 +117,6 @@ def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None,
             raise ValueError(f"{num_nodes} nodes is not a square mesh")
         ceiling = pattern_saturation_rate(mix, k, pattern, routing)
     top = min(1.0, ceiling * headroom)
+    if injection is not None:
+        top = min(top, injection.max_rate())
     return [top * (i + 1) / points for i in range(points)]

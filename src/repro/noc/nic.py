@@ -61,9 +61,11 @@ class Nic:
         """The attached traffic source (``None`` for a silent NIC).
 
         A NIC with a source must be stepped every cycle — the source
-        draws from its PRBS stream per cycle, so skipping a step would
-        change the traffic trace.  Attaching one therefore wakes the
-        NIC in the owning network's active set.
+        draws from its PRBS streams per cycle (the injection decision,
+        and for a modulated injection process also the state-chain
+        advance, which ticks even through long OFF gaps), so skipping
+        a step would change the traffic trace.  Attaching one
+        therefore wakes the NIC in the owning network's active set.
         """
         return self._source
 

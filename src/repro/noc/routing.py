@@ -70,8 +70,11 @@ _ROUTING_STREAM_SALT = 0x517CC1B7
 def _stream_seed(base, node):
     """A PRBS-31 register state for node's routing stream: non-zero,
     inside the register, and disjoint from the traffic seeds."""
-    state = ((base * 1_000_003) ^ _ROUTING_STREAM_SALT) + node
-    return state % ((1 << 31) - 2) + 1
+    # lazy import: repro.traffic.patterns imports this module, so a
+    # module-level import of the repro.traffic package would be a cycle
+    from repro.traffic.prbs import salted_stream_seed
+
+    return salted_stream_seed(base, _ROUTING_STREAM_SALT, node)
 
 
 # ---------------------------------------------------------------- geometry

@@ -1,6 +1,10 @@
 """Traffic generation: injection processes, patterns and PRBS sources."""
 
-from repro.traffic.generators import BernoulliTraffic, SyntheticBurst
+from repro.traffic.generators import (
+    BernoulliTraffic,
+    SyntheticBurst,
+    SyntheticTraffic,
+)
 from repro.traffic.mix import (
     BROADCAST_ONLY,
     MIXED_TRAFFIC,
@@ -23,21 +27,35 @@ from repro.traffic.patterns import (
     pattern_names,
 )
 from repro.traffic.prbs import PRBSGenerator
+from repro.traffic.processes import (
+    BernoulliProcess,
+    InjectionProcess,
+    MMPProcess,
+    OnOffProcess,
+    make_process,
+    process_from_dict,
+    process_names,
+)
 from repro.traffic.spec import MessageSpec
 
 __all__ = [
     "BROADCAST_ONLY",
+    "BernoulliProcess",
     "BernoulliTraffic",
     "BitComplementPattern",
     "BitReversalPattern",
     "DestinationPattern",
     "HotspotPattern",
+    "InjectionProcess",
     "MIXED_TRAFFIC",
+    "MMPProcess",
     "MessageSpec",
     "NeighborPattern",
+    "OnOffProcess",
     "PRBSGenerator",
     "ShufflePattern",
     "SyntheticBurst",
+    "SyntheticTraffic",
     "TornadoPattern",
     "TrafficComponent",
     "TrafficMix",
@@ -45,6 +63,9 @@ __all__ = [
     "UNIFORM_UNICAST",
     "UniformPattern",
     "make_pattern",
+    "make_process",
     "pattern_from_dict",
     "pattern_names",
+    "process_from_dict",
+    "process_names",
 ]

@@ -1,29 +1,39 @@
-"""Injection processes.
+"""Synthetic traffic sources.
 
-:class:`BernoulliTraffic` is the paper's workload: every NIC injects
-flits as a Bernoulli process of rate R (flits/node/cycle), drawing each
-message from a :class:`~repro.traffic.mix.TrafficMix`, with unicast
-destinations chosen by a
-:class:`~repro.traffic.patterns.DestinationPattern` (uniform over the
-other nodes by default, matching the paper) and broadcasts addressed to
-every node.
+:class:`SyntheticTraffic` composes the three pluggable axes of the
+workload: a temporal :class:`~repro.traffic.processes.InjectionProcess`
+(when packets are injected), a
+:class:`~repro.traffic.mix.TrafficMix` (what each message is), and a
+spatial :class:`~repro.traffic.patterns.DestinationPattern` (where
+unicasts go; broadcasts always address every node).  The defaults —
+Bernoulli injection, uniform destinations — are the paper's workload,
+and :data:`BernoulliTraffic` remains the historical name for exactly
+that composition.
 
 ``identical_generators=True`` reproduces the fabricated chip's
-artifact: all NICs run the *same* PRBS stream, so their injection
+artifact: all NICs run the *same* PRBS streams, so their injection
 decisions and destination choices are synchronised, creating structural
 contention even at low loads.  The default (decorrelated per-node
 streams) matches the paper's corrected RTL simulations.
+
+Draw-stream contract: the Bernoulli default consumes one main-stream
+``next_uniform()`` word per cycle (the historical inline code, byte for
+byte); modulated processes run their state chains on private salted
+streams and consume main-stream words only in positive-rate states, so
+mix selection and destination draws stay on the main stream in both
+cases (see :mod:`repro.traffic.processes`).
 """
 
 from __future__ import annotations
 
 from repro.traffic.patterns import UniformPattern
 from repro.traffic.prbs import PRBSGenerator
+from repro.traffic.processes import BernoulliProcess
 from repro.traffic.spec import MessageSpec
 
 
-class BernoulliTraffic:
-    """Bernoulli packet injection of a traffic mix at a given flit rate."""
+class SyntheticTraffic:
+    """Packet injection of a traffic mix: process x pattern x mix."""
 
     def __init__(
         self,
@@ -32,6 +42,7 @@ class BernoulliTraffic:
         seed=1,
         identical_generators=False,
         pattern=None,
+        process=None,
     ):
         if injection_rate < 0:
             raise ValueError("injection rate must be non-negative")
@@ -45,8 +56,11 @@ class BernoulliTraffic:
         self.seed = seed
         self.identical_generators = identical_generators
         self.pattern = pattern if pattern is not None else UniformPattern()
+        self.process = process if process is not None else BernoulliProcess()
+        self.process.validate(injection_rate)
         self._cfg = None
         self._rngs = {}
+        self._steppers = None
         # cached per-bind constants for the per-cycle injection decision
         self._packet_rate = injection_rate / mix.mean_flits_per_message
         self._cum_weights = mix.cumulative_weights()
@@ -57,6 +71,7 @@ class BernoulliTraffic:
         self.pattern.validate(config.k)
         self._cfg = config
         self._rngs = {}
+        self._steppers = None
         self._packet_rate = self.injection_rate / self.mix.mean_flits_per_message
         self._cum_weights = self.mix.cumulative_weights()
         # deterministic patterns are pure src->dest maps: precompute the
@@ -70,9 +85,16 @@ class BernoulliTraffic:
             ]
         else:
             self._dest_table = None
+        if not self.process.memoryless:
+            self._steppers = {}
+        packet_scale = 1.0 / self.mix.mean_flits_per_message
         for node in range(config.num_nodes):
             node_seed = self.seed if self.identical_generators else self.seed + node
             self._rngs[node] = PRBSGenerator(order=31, seed=node_seed)
+            if self._steppers is not None:
+                self._steppers[node] = self.process.start(
+                    self.injection_rate, packet_scale, node_seed
+                )
 
     @property
     def packet_rate(self):
@@ -83,7 +105,11 @@ class BernoulliTraffic:
         if self._cfg is None:
             raise RuntimeError("traffic source used before bind()")
         rng = self._rngs[node]
-        if rng.next_uniform() >= self._packet_rate:
+        if self._steppers is None:
+            # the Bernoulli fast path: the historical inline draw
+            if rng.next_uniform() >= self._packet_rate:
+                return ()
+        elif not self._steppers[node].pulse(rng):
             return ()
         return (self._draw_message(rng, node),)
 
@@ -106,13 +132,21 @@ class BernoulliTraffic:
         return MessageSpec(dests, component.mclass, component.num_flits)
 
 
+#: The paper's workload by its historical name: Bernoulli injection of
+#: a mix with uniform unicast destinations is the process=None,
+#: pattern=None default of :class:`SyntheticTraffic`.
+BernoulliTraffic = SyntheticTraffic
+
+
 class SyntheticBurst:
     """A scripted one-shot workload for tests and examples.
 
     ``schedule`` maps ``(cycle, node)`` to a list of
     :class:`MessageSpec`; everything else is silent.  Deterministic by
     construction, which makes it the tool of choice for pinpoint
-    latency assertions.
+    latency assertions.  Like the other traffic specs it round-trips
+    through ``to_dict`` / :meth:`from_dict`, so scripted workloads can
+    be stored alongside engine results.
     """
 
     injection_rate = 0.0
@@ -128,3 +162,25 @@ class SyntheticBurst:
         if self._cfg is None:
             raise RuntimeError("traffic source used before bind()")
         return list(self.schedule.get((cycle, node), []))
+
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts."""
+        return {
+            "schedule": [
+                {
+                    "cycle": cycle,
+                    "node": node,
+                    "messages": [spec.to_dict() for spec in specs],
+                }
+                for (cycle, node), specs in sorted(self.schedule.items())
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        schedule = {}
+        for entry in data["schedule"]:
+            schedule[(int(entry["cycle"]), int(entry["node"]))] = [
+                MessageSpec.from_dict(m) for m in entry["messages"]
+            ]
+        return cls(schedule)

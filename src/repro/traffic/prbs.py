@@ -98,6 +98,19 @@ class PRBSGenerator:
         return copy
 
 
+def salted_stream_seed(base, salt, offset=0):
+    """A PRBS-31 register state for a derived stream family.
+
+    ``base`` (typically a node's traffic seed) is spread by an odd
+    multiplier, XOR-``salt``-ed so each stream family (routing headers,
+    injection-process chains, ...) is decorrelated from the traffic
+    streams and from each other, shifted by ``offset`` (e.g. a node
+    id), and folded into the register's non-zero range.
+    """
+    state = ((base * 1_000_003) ^ salt) + offset
+    return state % ((1 << 31) - 2) + 1
+
+
 def transition_density(bits):
     """Fraction of adjacent bit pairs that toggle (switching activity)."""
     if len(bits) < 2:

@@ -1,0 +1,358 @@
+"""Temporal injection processes for synthetic traffic.
+
+The paper's workload is a pure Bernoulli process: every cycle each NIC
+injects a packet with a fixed probability, so inter-injection gaps are
+geometric and memoryless.  Real NoC traffic is *bursty*;
+:class:`InjectionProcess` makes the temporal axis of the workload
+pluggable, mirroring :class:`~repro.traffic.patterns.DestinationPattern`
+(the spatial axis) and :class:`~repro.noc.routing.RoutingAlgorithm`:
+
+* ``bernoulli`` — the paper's memoryless process, byte-identical to the
+  historical inline draw (one ``next_uniform()`` word per cycle from the
+  node's traffic stream);
+* ``onoff`` — the standard two-state burstiness model (Dally & Towles
+  §24.2): a Markov chain alternates geometric ON bursts (mean
+  ``burst_length`` cycles, injecting at ``on_rate`` flits/cycle) with
+  geometric OFF gaps sized so the long-run mean equals the configured
+  injection rate;
+* ``mmp`` — an N-state Markov-modulated Bernoulli process: a cyclic
+  chain of states with relative rate ``levels`` and mean ``dwells``,
+  normalised so the stationary-weighted mean rate is *exactly* the
+  configured rate.
+
+Mean-rate identity contract
+---------------------------
+Every process expresses the same long-run offered load: with stationary
+distribution ``pi`` over its states and per-state flit rates ``r``,
+``sum(pi[i] * r[i]) == rate`` holds exactly (see
+:mod:`repro.analysis.burstiness`, which derives saturation-onset shifts
+from the same quantities).  A bursty sweep therefore compares like with
+like against a Bernoulli sweep at the same rate axis — what changes is
+*when* the flits come, not how many.
+
+PRBS draw-stream contract
+-------------------------
+:class:`BernoulliProcess` consumes exactly the historical draw sequence
+— one ``next_uniform()`` per cycle from the node's main traffic stream —
+so the default process replays every pre-process run byte for byte (the
+golden fig5 WindowStats pin in ``tests/integration``).  Modulated
+processes keep their *state chain* on a private per-node PRBS stream,
+salted from the node's traffic seed exactly like the routing header
+streams (so a chain never replays an injection stream): chain
+transitions cost zero draws on the main stream, a cycle in a
+positive-rate state consumes one main-stream word (the injection
+decision, like Bernoulli), and a cycle in a zero-rate state consumes
+none.
+
+All processes are frozen dataclasses registered by name; they serialize
+through ``to_dict`` / :func:`process_from_dict`, which lets
+:class:`~repro.engine.jobspec.JobSpec` hash them into cache keys
+(omitted-when-default, so pre-process cache keys survive) and ship them
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traffic.prbs import PRBSGenerator, salted_stream_seed
+
+#: name -> process class; populated by :func:`_register`.
+_REGISTRY = {}
+
+#: Salt decorrelating a node's state-chain stream from its traffic
+#: stream (which seeds the register directly) and from the routing
+#: header streams (which use a different salt).
+_CHAIN_STREAM_SALT = 0x61C88647
+
+
+def _register(cls):
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def process_names():
+    """The registered process names, sorted (CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+def make_process(name, **kwargs):
+    """Instantiate a registered injection process by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown injection process {name!r}; "
+            f"choose from {process_names()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def process_from_dict(data):
+    """Invert ``to_dict`` for any registered process."""
+    try:
+        name = data["name"]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a serialized process: {data!r}") from None
+    kwargs = {k: v for k, v in data.items() if k != "name"}
+    for key in ("burst_length", "on_rate"):
+        if key in kwargs:
+            kwargs[key] = float(kwargs[key])
+    for key in ("levels", "dwells"):
+        if key in kwargs:
+            kwargs[key] = tuple(float(v) for v in kwargs[key])
+    return make_process(name, **kwargs)
+
+
+def _chain_seed(base):
+    """A PRBS-31 register state for a node's state-chain stream:
+    non-zero, inside the register, disjoint from the traffic seeds."""
+    return salted_stream_seed(base, _CHAIN_STREAM_SALT)
+
+
+class ChainState:
+    """Per-node runtime of a modulated process: the private chain
+    stream plus the current state index.  ``pulse`` is the per-cycle
+    injection decision the NIC's traffic source consults."""
+
+    __slots__ = ("chain", "state", "probs", "leave")
+
+    def __init__(self, chain, state, probs, leave):
+        self.chain = chain
+        self.state = state
+        #: per-state packet-injection probability (flit rate / mean
+        #: flits per message)
+        self.probs = probs
+        #: per-state probability of leaving for the next state
+        self.leave = leave
+
+    def pulse(self, rng):
+        """Decide this cycle's packet injection, then advance the chain.
+
+        The decision uses the state *entered last cycle* (a transition
+        becomes effective the cycle after it is drawn), so dwell times
+        are geometric with mean ``1 / leave[state]``.
+        """
+        state = self.state
+        p = self.probs[state]
+        inject = p > 0.0 and rng.next_uniform() < p
+        leave = self.leave[state]
+        if leave > 0.0 and self.chain.next_uniform() < leave:
+            self.state = (state + 1) % len(self.probs)
+        return inject
+
+
+@dataclass(frozen=True)
+class InjectionProcess:
+    """Decides, per node per cycle, whether a packet is injected.
+
+    Subclasses model an N-state Markov chain: :meth:`state_rates` gives
+    each state's flit rate, :meth:`stationary` the long-run state
+    distribution and :meth:`leave_probs` the per-cycle exit
+    probabilities; :meth:`start` builds the per-node runtime.  The
+    mean-rate identity ``sum(pi * r) == rate`` must hold exactly for
+    every subclass — :mod:`repro.analysis.burstiness` and the
+    statistical tests rely on it.
+    """
+
+    #: registry key; also the ``--injection`` CLI spelling
+    name = None
+    #: True when the process is stateless (the Bernoulli fast path:
+    #: no chain stream, no per-node runtime object)
+    memoryless = False
+
+    def validate(self, rate):
+        """Raise ValueError if the process cannot express mean ``rate``."""
+        if not 0.0 <= rate <= self.max_rate():
+            raise ValueError(
+                f"{self.name} injection cannot express a mean rate of "
+                f"{rate} (max {self.max_rate():.4g} flits/node/cycle)"
+            )
+
+    def max_rate(self):
+        """Largest mean flit rate the process can express."""
+        return 1.0
+
+    def state_rates(self, rate):
+        """Per-state flit rates at configured mean ``rate``."""
+        raise NotImplementedError
+
+    def stationary(self, rate):
+        """Stationary distribution over the states at mean ``rate``."""
+        raise NotImplementedError
+
+    def leave_probs(self, rate):
+        """Per-state per-cycle probability of moving to the next state."""
+        raise NotImplementedError
+
+    def start(self, rate, packet_scale, seed_base):
+        """Per-node runtime (:class:`ChainState`); ``None`` when
+        memoryless.  ``packet_scale`` converts flit rates to per-cycle
+        packet probabilities (``1 / mix.mean_flits_per_message``);
+        ``seed_base`` is the node's traffic-stream seed, salted here
+        into the private chain stream.  The initial state is drawn
+        from the stationary distribution (one chain draw) so the
+        long-run mean holds from cycle zero instead of converging
+        through a transient.
+        """
+        chain = PRBSGenerator(order=31, seed=_chain_seed(seed_base))
+        pi = self.stationary(rate)
+        pick = chain.next_uniform()
+        state = len(pi) - 1
+        total = 0.0
+        for i, p in enumerate(pi):
+            total += p
+            if pick < total:
+                state = i
+                break
+        probs = tuple(r * packet_scale for r in self.state_rates(rate))
+        return ChainState(chain, state, probs, self.leave_probs(rate))
+
+    def to_dict(self):
+        """A JSON-safe representation that :func:`process_from_dict` inverts."""
+        return {"name": self.name}
+
+
+@_register
+@dataclass(frozen=True)
+class BernoulliProcess(InjectionProcess):
+    """The paper's memoryless workload — the default.
+
+    One state at the configured rate; the traffic generator inlines the
+    historical per-cycle draw (``next_uniform() < packet_rate``), so the
+    default process is byte-identical to every pre-process run.
+    """
+
+    name = "bernoulli"
+    memoryless = True
+
+    def state_rates(self, rate):
+        return (rate,)
+
+    def stationary(self, rate):
+        return (1.0,)
+
+    def leave_probs(self, rate):
+        return (0.0,)
+
+    def start(self, rate, packet_scale, seed_base):
+        return None
+
+
+@_register
+@dataclass(frozen=True)
+class OnOffProcess(InjectionProcess):
+    """Two-state bursty injection: geometric ON bursts, geometric gaps.
+
+    While ON the node injects at ``on_rate`` flits/cycle and leaves the
+    burst with probability ``1 / burst_length`` per cycle (mean burst =
+    ``burst_length``); while OFF it is silent and starts a new burst
+    with the probability that makes the ON duty cycle exactly
+    ``rate / on_rate`` — so the long-run mean rate is the configured
+    rate, with all of the load compressed into bursts.  The expressible
+    mean is capped at ``on_rate * L / (L + 1)`` (the OFF gap cannot
+    shrink below one cycle).
+    """
+
+    name = "onoff"
+    burst_length: float = 8.0
+    on_rate: float = 1.0
+
+    def __post_init__(self):
+        # normalise to float so equal values encode identically (an
+        # int 8 and a float 8.0 must hash to the same cache key)
+        object.__setattr__(self, "burst_length", float(self.burst_length))
+        object.__setattr__(self, "on_rate", float(self.on_rate))
+        if self.burst_length < 1.0:
+            raise ValueError("mean burst length must be at least one cycle")
+        if not 0.0 < self.on_rate <= 1.0:
+            raise ValueError("on-rate must be in (0, 1] flits/cycle")
+
+    def max_rate(self):
+        return self.on_rate * self.burst_length / (self.burst_length + 1.0)
+
+    def _duty(self, rate):
+        return rate / self.on_rate
+
+    def state_rates(self, rate):
+        return (self.on_rate, 0.0)
+
+    def stationary(self, rate):
+        duty = self._duty(rate)
+        return (duty, 1.0 - duty)
+
+    def leave_probs(self, rate):
+        beta = 1.0 / self.burst_length
+        duty = self._duty(rate)
+        if duty <= 0.0:
+            return (beta, 0.0)  # never leaves OFF: silent source
+        alpha = beta * duty / (1.0 - duty)
+        return (beta, alpha)
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "burst_length": self.burst_length,
+            "on_rate": self.on_rate,
+        }
+
+
+@_register
+@dataclass(frozen=True)
+class MMPProcess(InjectionProcess):
+    """N-state Markov-modulated Bernoulli injection.
+
+    A cyclic chain visits the states in order; state ``i`` dwells a
+    geometric ``dwells[i]`` cycles and injects at a flit rate
+    proportional to ``levels[i]``.  The proportionality constant is
+    fixed by the mean-rate identity: with ``pi[i] = dwells[i] /
+    sum(dwells)``, state ``i`` runs at ``rate * levels[i] / sum(pi *
+    levels)``, so the stationary-weighted mean is exactly the
+    configured rate for any parameterisation.  The default two-state
+    chain (levels 0.5/2.0, dwells 16/8) alternates a long half-rate
+    background with short 2x bursts and has normalisation constant 1.
+    """
+
+    name = "mmp"
+    levels: tuple = field(default=(0.5, 2.0))
+    dwells: tuple = field(default=(16.0, 8.0))
+
+    def __post_init__(self):
+        object.__setattr__(self, "levels", tuple(float(v) for v in self.levels))
+        object.__setattr__(self, "dwells", tuple(float(v) for v in self.dwells))
+        if len(self.levels) < 2:
+            raise ValueError("mmp needs at least two states")
+        if len(self.levels) != len(self.dwells):
+            raise ValueError("mmp needs one dwell time per level")
+        if any(v < 0.0 for v in self.levels):
+            raise ValueError("mmp levels must be non-negative")
+        if all(v == 0.0 for v in self.levels):
+            raise ValueError("mmp needs at least one positive level")
+        if any(d < 1.0 for d in self.dwells):
+            raise ValueError("mmp dwell times must be at least one cycle")
+
+    def _mean_level(self):
+        total = sum(self.dwells)
+        return sum(l * d for l, d in zip(self.levels, self.dwells)) / total
+
+    def max_rate(self):
+        # the busiest state must stay within one flit per cycle
+        return min(1.0, self._mean_level() / max(self.levels))
+
+    def state_rates(self, rate):
+        scale = rate / self._mean_level()
+        return tuple(l * scale for l in self.levels)
+
+    def stationary(self, rate):
+        total = sum(self.dwells)
+        return tuple(d / total for d in self.dwells)
+
+    def leave_probs(self, rate):
+        return tuple(1.0 / d for d in self.dwells)
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "levels": list(self.levels),
+            "dwells": list(self.dwells),
+        }

@@ -24,3 +24,19 @@ class MessageSpec:
     @property
     def is_multicast(self):
         return len(self.destinations) > 1
+
+    def to_dict(self):
+        """A JSON-safe representation that :meth:`from_dict` inverts."""
+        return {
+            "destinations": sorted(self.destinations),
+            "mclass": self.mclass.name,
+            "num_flits": self.num_flits,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            destinations=frozenset(int(d) for d in data["destinations"]),
+            mclass=MessageClass[data["mclass"]],
+            num_flits=int(data["num_flits"]),
+        )

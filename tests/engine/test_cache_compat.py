@@ -1,0 +1,135 @@
+"""Cache-key compatibility across the pluggable-axis PRs.
+
+The engine's contract is that adding a workload axis must not move any
+*default* job's content address: the new field is omitted from the
+canonical encoding at its default, so every pre-existing
+``.repro_cache/`` entry keeps hashing to the same file.  These keys
+were captured by running ``JobSpec.cache_key`` at the commit *before*
+the injection-process PR (which itself preserved the pre-pattern and
+pre-routing keys); any refactor that silently grows the default
+encoding — a new always-present field, a changed sort order, a float
+formatting change — breaks them and invalidates every user's on-disk
+cache.
+"""
+
+import json
+
+import pytest
+
+from repro.core.presets import baseline_network, proposed_network
+from repro.engine.jobspec import JobSpec
+from repro.noc.routing import make_routing
+from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC
+from repro.traffic.patterns import make_pattern
+from repro.traffic.processes import BernoulliProcess, OnOffProcess
+
+#: (job factory, sha256 of the canonical JSON) captured pre-PR.
+PINNED = {
+    "golden_fig5_default": (
+        lambda: JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=0.11,
+            seed=7,
+            warmup=300,
+            measure=1500,
+            drain=1500,
+            name="golden",
+        ),
+        "8359ee25040e8095c732424c3bee742036c63de396f75c3910133fbcb1e7ce3a",
+    ),
+    "baseline_broadcast_defaults": (
+        lambda: JobSpec(
+            config=baseline_network(),
+            mix=BROADCAST_ONLY,
+            rate=0.02,
+            name="baseline",
+        ),
+        "e141b4d29b9c6a21766ab290240dc0c260f1e7e9dc9ea4a92aef18470add196f",
+    ),
+    "non_default_pattern": (
+        lambda: JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=0.08,
+            pattern=make_pattern("transpose"),
+        ),
+        "fc9c22347bae973de89e8d19aba9934cb0aae10b2718d379b271980c6965e0e1",
+    ),
+    "non_default_routing": (
+        lambda: JobSpec(
+            config=proposed_network(routing=make_routing("o1turn")),
+            mix=MIXED_TRAFFIC,
+            rate=0.08,
+        ),
+        "f17a6755431f536cdc7edcda9dcd95f473f68efc25549a7bba6ab151b1f27648",
+    ),
+}
+
+
+class TestPinnedKeys:
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_pre_process_cache_keys_are_unchanged(self, name):
+        factory, key = PINNED[name]
+        assert factory().cache_key == key
+
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_default_encodings_have_no_injection_field(self, name):
+        factory, _ = PINNED[name]
+        data = json.loads(factory().canonical_json())
+        assert "injection" not in data
+
+
+class TestDefaultNormalisation:
+    def test_explicit_bernoulli_hashes_like_the_default(self):
+        factory, key = PINNED["golden_fig5_default"]
+        default = factory()
+        explicit = JobSpec(
+            config=default.config,
+            mix=default.mix,
+            rate=default.rate,
+            seed=default.seed,
+            warmup=default.warmup,
+            measure=default.measure,
+            drain=default.drain,
+            name=default.name,
+            injection=BernoulliProcess(),
+        )
+        assert explicit == default
+        assert explicit.cache_key == key
+
+    def test_bursty_jobs_get_fresh_content_addresses(self):
+        factory, key = PINNED["golden_fig5_default"]
+        default = factory()
+        keys = {key}
+        for process in (
+            OnOffProcess(),
+            OnOffProcess(burst_length=16.0),
+            OnOffProcess(burst_length=8.0, on_rate=0.5),
+        ):
+            bursty = JobSpec(
+                config=default.config,
+                mix=default.mix,
+                rate=default.rate,
+                seed=default.seed,
+                warmup=default.warmup,
+                measure=default.measure,
+                drain=default.drain,
+                name=default.name,
+                injection=process,
+            )
+            data = json.loads(bursty.canonical_json())
+            assert data["injection"]["name"] == "onoff"
+            keys.add(bursty.cache_key)
+        assert len(keys) == 4  # every parameterisation is its own entry
+
+    def test_round_trip_preserves_bursty_keys(self):
+        job = JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=0.08,
+            injection=OnOffProcess(burst_length=12.0),
+        )
+        clone = JobSpec.from_dict(json.loads(job.canonical_json()))
+        assert clone == job
+        assert clone.cache_key == job.cache_key

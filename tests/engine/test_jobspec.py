@@ -9,6 +9,7 @@ from repro.engine import JobSpec
 from repro.noc.config import NocConfig
 from repro.noc.metrics import WindowStats
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, TrafficMix
+from repro.traffic.processes import OnOffProcess
 
 FAST = dict(warmup=100, measure=300, drain=400)
 
@@ -86,6 +87,8 @@ class TestCacheKey:
             make_job(drain=FAST["drain"] + 1),
             make_job(identical_generators=True),
             make_job(name="other"),
+            make_job(injection=OnOffProcess()),
+            make_job(injection=OnOffProcess(burst_length=16.0)),
         ]
         keys = {reference.cache_key} | {v.cache_key for v in variants}
         assert len(keys) == len(variants) + 1

@@ -1,0 +1,286 @@
+"""Temporal injection-process sweeps, end to end.
+
+Covers the acceptance criteria of the injection-process subsystem:
+
+* the ``bernoulli`` default is byte-identical to the pre-process
+  ``BernoulliTraffic`` (the golden fig5 WindowStats of
+  ``test_pattern_sweep``) and hashes to the same cache keys;
+* on-off traffic at *matched mean load* saturates at or below the
+  Bernoulli saturation point on a 4x4 uniform mesh under both ``xy``
+  and ``o1turn`` routing, with longer bursts saturating no later than
+  shorter ones — the ordering
+  :func:`repro.analysis.burstiness.saturation_shift` predicts;
+* every process runs end to end through ``python -m repro sweep
+  --injection ...``.
+
+The measured comparison shares one zero-load latency base across the
+processes of a routing algorithm: burstiness inflates even the
+lowest-rate point's latency, so letting each sweep self-reference
+would move the 3x criterion along with the workload and hide exactly
+the shift being asserted.
+"""
+
+import pytest
+
+from repro.analysis.burstiness import saturation_shift
+from repro.analysis.saturation import find_saturation
+from repro.core.presets import proposed_network
+from repro.engine import cli
+from repro.engine.jobspec import JobSpec
+from repro.noc.routing import make_routing
+from repro.traffic.mix import UNIFORM_UNICAST
+from repro.traffic.processes import OnOffProcess
+
+
+class TestBernoulliByteIdentity:
+    def test_default_process_reproduces_the_golden_stats(self):
+        from tests.integration.test_pattern_sweep import (
+            GOLDEN_FIG5_MIXED_011,
+            golden_job,
+        )
+
+        assert golden_job().run().to_dict() == GOLDEN_FIG5_MIXED_011
+
+
+class TestOnOffSaturatesEarlier:
+    """The headline physics: same mean load, earlier saturation."""
+
+    RATES = (0.2, 0.35, 0.5, 0.65, 0.8)
+    WINDOW = dict(seed=7, warmup=200, measure=800, drain=800)
+    BURSTS = (8.0, 16.0)
+
+    def sweep(self, routing, process):
+        cfg = (
+            proposed_network()
+            if routing is None
+            else proposed_network(routing=make_routing(routing))
+        )
+        return [
+            JobSpec(
+                config=cfg,
+                mix=UNIFORM_UNICAST,
+                rate=rate,
+                injection=process,
+                **self.WINDOW,
+            ).run()
+            for rate in self.RATES
+        ]
+
+    @pytest.mark.parametrize("routing", [None, "o1turn"])
+    def test_matched_mean_load_saturates_at_or_below_bernoulli(self, routing):
+        bernoulli = self.sweep(routing, None)
+        base = bernoulli[0].avg_latency
+        bern_sat = find_saturation(bernoulli, zero_load_latency=base)
+        assert bern_sat is not None
+        sats = []
+        for burst_length in self.BURSTS:
+            points = self.sweep(routing, OnOffProcess(burst_length))
+            sat = find_saturation(points, zero_load_latency=base)
+            assert sat is not None, f"onoff L={burst_length} never saturated"
+            assert sat <= bern_sat * 1.01, (
+                f"onoff L={burst_length} under {routing or 'xy'} saturated "
+                f"at {sat:.3f}, above bernoulli's {bern_sat:.3f}"
+            )
+            sats.append(sat)
+        # longer bursts are no kinder: L=16 saturates at or below L=8
+        assert sats[1] <= sats[0] * 1.01
+        # and the analytic shift predicts the same ordering
+        shifts = [
+            saturation_shift(
+                UNIFORM_UNICAST, 4, routing=routing,
+                process=OnOffProcess(length),
+            )
+            for length in self.BURSTS
+        ]
+        assert shifts[1] < shifts[0] < 1.0
+
+
+class TestCliInjectionSweeps:
+    FAST = (
+        "--rates",
+        "0.05",
+        "--warmup",
+        "50",
+        "--measure",
+        "200",
+        "--drain",
+        "200",
+        "--no-cache",
+    )
+
+    def test_onoff_runs_end_to_end(self, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "uniform_unicast",
+                "--injection",
+                "onoff",
+                "--burst-length",
+                "8",
+                *self.FAST,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "onoff" in out
+        assert "executed=1" in out
+
+    def test_mmp_runs_end_to_end(self, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "mixed",
+                "--injection",
+                "mmp",
+                "--mmp-levels",
+                "0.5,2",
+                "--mmp-dwells",
+                "16,8",
+                *self.FAST,
+            ]
+        )
+        assert rc == 0
+        assert "mmp" in capsys.readouterr().out
+
+    def test_bursty_broadcasts_run_end_to_end(self, capsys):
+        # fig13's mix is broadcast-only; unlike --pattern/--routing the
+        # temporal process genuinely applies to it
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "broadcast_only",
+                "--injection",
+                "onoff",
+                *self.FAST,
+            ]
+        )
+        assert rc == 0
+
+    def test_burst_flags_need_onoff(self, capsys):
+        rc = cli.main(["sweep", "--burst-length", "8", *self.FAST])
+        assert rc == 2
+        assert "--burst-length" in capsys.readouterr().err
+
+    def test_mmp_flags_need_mmp(self, capsys):
+        rc = cli.main(
+            [
+                "sweep",
+                "--injection",
+                "onoff",
+                "--mmp-levels",
+                "1,2",
+                *self.FAST,
+            ]
+        )
+        assert rc == 2
+        assert "--mmp-levels" in capsys.readouterr().err
+
+    def test_unknown_process_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["sweep", "--injection", "poisson", *self.FAST])
+        assert exc.value.code == 2
+        assert "--injection" in capsys.readouterr().err
+
+    def test_inexpressible_rate_is_a_clean_cli_error(self, capsys):
+        # onoff L=8 caps the mean at 8/9; an explicit rate beyond it
+        # must fail in domain validation, not as a traceback
+        rc = cli.main(
+            [
+                "sweep",
+                "--mix",
+                "uniform_unicast",
+                "--injection",
+                "onoff",
+                "--rates",
+                "0.95",
+                "--warmup",
+                "50",
+                "--measure",
+                "100",
+                "--drain",
+                "100",
+                "--no-cache",
+            ]
+        )
+        assert rc == 2
+        assert "onoff" in capsys.readouterr().err
+
+    def test_auto_grid_clamps_to_the_expressible_range(self, capsys):
+        # uniform unicast's wall is 1.0; with headroom the bernoulli
+        # grid tops at 1.0, but onoff L=4 can only express 0.8 —
+        # the auto grid must clamp there instead of crashing
+        rc = cli.main(
+            [
+                "sweep",
+                "--config",
+                "proposed",
+                "--mix",
+                "uniform_unicast",
+                "--injection",
+                "onoff",
+                "--burst-length",
+                "4",
+                "--points",
+                "2",
+                "--warmup",
+                "50",
+                "--measure",
+                "100",
+                "--drain",
+                "100",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.8" in out and "1.0 " not in out
+
+    def test_fig13_inexpressible_process_is_a_clean_cli_error(self, capsys):
+        # an on-rate below every default fig13 rate would filter the
+        # grid empty; that must surface as a domain error, not an
+        # IndexError from a vacuous sweep
+        rc = cli.main(
+            [
+                "figure",
+                "fig13",
+                "--injection",
+                "onoff",
+                "--on-rate",
+                "0.005",
+                "--no-cache",
+            ]
+        )
+        assert rc == 2
+        assert "onoff" in capsys.readouterr().err
+
+    def test_figure_fig5_accepts_injection(self, capsys):
+        rc = cli.main(
+            [
+                "figure",
+                "fig5",
+                "--injection",
+                "onoff",
+                "--burst-length",
+                "8",
+                "--rates",
+                "0.02",
+                "--warmup",
+                "50",
+                "--measure",
+                "200",
+                "--drain",
+                "200",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        assert "fig5" in capsys.readouterr().out

@@ -20,8 +20,14 @@ from repro import Simulator, baseline_network, proposed_network
 from repro.noc.flit import MessageClass
 from repro.noc.routing import route_xy_tree
 from repro.noc.simulator import WATCHDOG_CYCLES
-from repro.traffic import BernoulliTraffic, MessageSpec, SyntheticBurst
+from repro.traffic import (
+    BernoulliTraffic,
+    MessageSpec,
+    SyntheticBurst,
+    SyntheticTraffic,
+)
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC
+from repro.traffic.processes import OnOffProcess, make_process
 
 FAST = dict(warmup=100, measure=300, drain=400)
 
@@ -135,6 +141,40 @@ class TestGatedMatchesReference:
             sim = Simulator(preset(), traffic, gated=gated)
             results.append(sim.run_experiment(**FAST))
         assert canonical(results[0]) == canonical(results[1])
+
+    @pytest.mark.parametrize("injection", ["bernoulli", "onoff"])
+    @pytest.mark.parametrize(
+        "mix,rate", [(MIXED_TRAFFIC, 0.05), (BROADCAST_ONLY, 0.02)]
+    )
+    def test_byte_identical_across_injection_processes(
+        self, injection, mix, rate
+    ):
+        # bursty injection is the adversarial case for the wake/sleep
+        # contract: long OFF gaps put whole regions of the mesh to
+        # sleep mid-run, and every wake-on-burst must replay exactly.
+        # A long burst length at low rate maximises the idle gaps.
+        process = (
+            None
+            if injection == "bernoulli"
+            else OnOffProcess(burst_length=32.0)
+        )
+        results = []
+        for gated in (True, False):
+            traffic = SyntheticTraffic(mix, rate, seed=7, process=process)
+            sim = Simulator(proposed_network(), traffic, gated=gated)
+            results.append(sim.run_experiment(**FAST))
+        assert canonical(results[0]) == canonical(results[1])
+
+    def test_bursty_idle_gaps_actually_gate(self):
+        # the claim above is only meaningful if OFF gaps really retire
+        # routers: at this load the gated loop must execute far fewer
+        # router-cycles than the exhaustive 16 * cycles
+        traffic = SyntheticTraffic(
+            MIXED_TRAFFIC, 0.01, seed=7, process=make_process("onoff")
+        )
+        sim = Simulator(proposed_network(), traffic)
+        sim.run(2_000)
+        assert 0 < sim.router_cycles_executed < 16 * 2_000 / 2
 
     def test_activity_counters_identical(self):
         # stronger than WindowStats: every per-router event count must

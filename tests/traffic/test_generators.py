@@ -1,10 +1,16 @@
-"""Traffic mixes and Bernoulli injection processes."""
+"""Traffic mixes and synthetic traffic sources."""
+
+import json
 
 import pytest
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import MessageClass
-from repro.traffic.generators import BernoulliTraffic, SyntheticBurst
+from repro.traffic.generators import (
+    BernoulliTraffic,
+    SyntheticBurst,
+    SyntheticTraffic,
+)
 from repro.traffic.mix import (
     BROADCAST_ONLY,
     MIXED_TRAFFIC,
@@ -145,11 +151,65 @@ class TestBernoulliTraffic:
         assert differing > 0
 
 
+class TestSyntheticTrafficAlias:
+    def test_bernoulli_traffic_is_the_default_composition(self):
+        # the historical name must stay importable and be exactly the
+        # generic source with default process and pattern
+        assert BernoulliTraffic is SyntheticTraffic
+        traffic = BernoulliTraffic(MIXED_TRAFFIC, 0.1)
+        assert traffic.process.name == "bernoulli"
+        assert traffic.pattern.name == "uniform"
+
+    def test_inexpressible_rate_rejected_at_construction(self):
+        from repro.traffic.processes import OnOffProcess
+
+        with pytest.raises(ValueError):
+            SyntheticTraffic(
+                UNIFORM_UNICAST, 0.95, process=OnOffProcess(burst_length=8.0)
+            )
+
+
 class TestSyntheticBurst:
     def test_use_before_bind_rejected(self):
+        # the bind-before-generate contract: a scripted workload must
+        # fail loudly when driven without network geometry
         burst = SyntheticBurst({})
         with pytest.raises(RuntimeError):
             burst.generate(0, 0)
+
+    def test_bind_then_generate_recovers(self):
+        spec = MessageSpec(frozenset([2]), MessageClass.REQUEST, 1)
+        burst = SyntheticBurst({(0, 1): [spec]})
+        with pytest.raises(RuntimeError):
+            burst.generate(0, 1)
+        burst.bind(NocConfig())
+        assert burst.generate(0, 1) == [spec]
+
+    def test_serialization_round_trip(self):
+        schedule = {
+            (3, 0): [
+                MessageSpec(frozenset([1]), MessageClass.REQUEST, 1),
+                MessageSpec(frozenset(range(16)), MessageClass.REQUEST, 1),
+            ],
+            (7, 5): [MessageSpec(frozenset([0]), MessageClass.RESPONSE, 5)],
+        }
+        burst = SyntheticBurst(schedule)
+        clone = SyntheticBurst.from_dict(burst.to_dict())
+        assert clone.schedule == burst.schedule
+        assert clone.to_dict() == burst.to_dict()
+
+    def test_dict_is_json_safe_and_ordered(self):
+        spec = MessageSpec(frozenset([4, 2]), MessageClass.REQUEST, 2)
+        burst = SyntheticBurst({(9, 1): [spec], (3, 2): [spec]})
+        data = json.loads(json.dumps(burst.to_dict()))
+        assert SyntheticBurst.from_dict(data).schedule == burst.schedule
+        # canonical entry order (by cycle, node) and sorted destinations
+        assert [e["cycle"] for e in data["schedule"]] == [3, 9]
+        assert data["schedule"][0]["messages"][0]["destinations"] == [2, 4]
+
+    def test_message_spec_round_trip(self):
+        spec = MessageSpec(frozenset([3, 1]), MessageClass.RESPONSE, 5)
+        assert MessageSpec.from_dict(spec.to_dict()) == spec
 
     def test_scripted_delivery(self):
         spec = MessageSpec(frozenset([1]), MessageClass.REQUEST, 1)

@@ -1,0 +1,350 @@
+"""Temporal injection processes: units, serialization, statistics.
+
+The statistical half drives long single-node traces through
+:class:`~repro.traffic.generators.SyntheticTraffic` and checks the two
+properties the subsystem promises:
+
+* the **mean-rate identity** — the long-run empirical injection rate of
+  a bursty process converges to the configured mean (and the analytic
+  ``sum(pi * r)`` equals it exactly);
+* the **burst geometry** — measured ON-run lengths of the on-off
+  process follow the geometric distribution of the chain
+  parameterisation (mean ``burst_length``, memoryless continuation).
+
+Traces are seeded PRBS, so every number here is deterministic; the
+tolerances absorb finite-trace variance, not randomness across runs.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.burstiness import (
+    burstiness_timescale,
+    dispersion_index,
+    expected_onset_rate,
+    mean_rate,
+    peak_rate,
+    rate_cv2,
+    saturation_shift,
+)
+from repro.noc.config import NocConfig
+from repro.traffic.generators import SyntheticTraffic
+from repro.traffic.mix import MIXED_TRAFFIC, UNIFORM_UNICAST
+from repro.traffic.processes import (
+    BernoulliProcess,
+    MMPProcess,
+    OnOffProcess,
+    make_process,
+    process_from_dict,
+    process_names,
+)
+
+
+def trace(process, rate, cycles=60_000, mix=UNIFORM_UNICAST, node=3, seed=5):
+    """Empirical (flit_rate, ON-run lengths) of one node's generate()."""
+    traffic = SyntheticTraffic(mix, rate, seed=seed, process=process)
+    traffic.bind(NocConfig())
+    flits = 0
+    runs, current = [], 0
+    for cycle in range(cycles):
+        specs = traffic.generate(cycle, node)
+        if specs:
+            flits += sum(s.num_flits for s in specs)
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return flits / cycles, runs
+
+
+class TestRegistry:
+    def test_names(self):
+        assert process_names() == ["bernoulli", "mmp", "onoff"]
+
+    def test_make_process(self):
+        assert make_process("onoff", burst_length=4.0) == OnOffProcess(4.0)
+        with pytest.raises(ValueError):
+            make_process("poisson")
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            BernoulliProcess(),
+            OnOffProcess(),
+            OnOffProcess(burst_length=16.0, on_rate=0.5),
+            MMPProcess(),
+            MMPProcess(levels=(0.0, 1.0, 3.0), dwells=(20.0, 10.0, 5.0)),
+        ],
+    )
+    def test_serialization_round_trip(self, process):
+        clone = process_from_dict(process.to_dict())
+        assert clone == process
+        assert clone.to_dict() == process.to_dict()
+
+    def test_not_a_process(self):
+        with pytest.raises(ValueError):
+            process_from_dict({"levels": [1, 2]})
+
+    def test_int_parameters_normalise_to_float(self):
+        # equal values must encode identically whatever the caller's
+        # numeric type, or equal JobSpecs fork their cache keys
+        assert OnOffProcess(8, 1) == OnOffProcess(8.0, 1.0)
+        assert OnOffProcess(8).to_dict() == OnOffProcess(8.0).to_dict()
+        assert MMPProcess(levels=(1, 2), dwells=(4, 4)) == MMPProcess(
+            levels=(1.0, 2.0), dwells=(4.0, 4.0)
+        )
+
+
+class TestValidation:
+    def test_onoff_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            OnOffProcess(burst_length=0.5)
+        with pytest.raises(ValueError):
+            OnOffProcess(on_rate=0.0)
+        with pytest.raises(ValueError):
+            OnOffProcess(on_rate=1.5)
+
+    def test_onoff_max_rate_keeps_the_off_gap_expressible(self):
+        # duty <= L/(L+1): beyond it the OFF gap would be under a cycle
+        p = OnOffProcess(burst_length=8.0)
+        assert p.max_rate() == pytest.approx(8 / 9)
+        p.validate(p.max_rate())
+        with pytest.raises(ValueError):
+            p.validate(0.95)
+
+    def test_onoff_scaled_on_rate(self):
+        p = OnOffProcess(burst_length=4.0, on_rate=0.5)
+        assert p.max_rate() == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            p.validate(0.45)
+
+    def test_mmp_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            MMPProcess(levels=(1.0,), dwells=(4.0,))  # one state
+        with pytest.raises(ValueError):
+            MMPProcess(levels=(1.0, 2.0), dwells=(4.0,))  # length mismatch
+        with pytest.raises(ValueError):
+            MMPProcess(levels=(0.0, 0.0), dwells=(4.0, 4.0))  # all silent
+        with pytest.raises(ValueError):
+            MMPProcess(levels=(-1.0, 2.0), dwells=(4.0, 4.0))
+        with pytest.raises(ValueError):
+            MMPProcess(levels=(1.0, 2.0), dwells=(0.5, 4.0))  # sub-cycle dwell
+
+    def test_mmp_max_rate_caps_the_peak_state(self):
+        # default levels 0.5/2.0 with dwells 16/8: mean level 1, so the
+        # 2x state reaches one flit/cycle at a mean rate of 0.5
+        assert MMPProcess().max_rate() == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            MMPProcess().validate(0.6)
+
+
+class TestMeanRateIdentity:
+    """sum(pi * r) == rate, exactly, for every process and rate."""
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            BernoulliProcess(),
+            OnOffProcess(),
+            OnOffProcess(burst_length=32.0),
+            OnOffProcess(burst_length=16.0, on_rate=0.5),
+            MMPProcess(),
+            MMPProcess(levels=(0.0, 1.0, 3.0), dwells=(20.0, 10.0, 5.0)),
+        ],
+    )
+    def test_analytic_identity(self, process):
+        for frac in (0.0, 0.1, 0.5, 1.0):
+            rate = frac * process.max_rate()
+            assert mean_rate(process, rate) == pytest.approx(rate, abs=1e-12)
+            pi = process.stationary(rate)
+            assert sum(pi) == pytest.approx(1.0, abs=1e-12)
+            assert all(p >= 0 for p in pi)
+
+    @pytest.mark.parametrize(
+        "process,rate",
+        [
+            (OnOffProcess(burst_length=8.0), 0.2),
+            (OnOffProcess(burst_length=20.0, on_rate=0.8), 0.3),
+            (MMPProcess(), 0.2),
+            (MMPProcess(levels=(0.0, 1.0, 3.0), dwells=(20.0, 10.0, 5.0)), 0.15),
+        ],
+    )
+    def test_empirical_rate_converges_to_the_mean(self, process, rate):
+        measured, _ = trace(process, rate)
+        assert measured == pytest.approx(rate, abs=0.02)
+
+    def test_empirical_rate_with_multiflit_mix(self):
+        # the packet-probability scaling must account for mean flits
+        # per message (2.0 for the mixed mix), like Bernoulli does
+        measured, _ = trace(OnOffProcess(8.0), 0.2, mix=MIXED_TRAFFIC)
+        assert measured == pytest.approx(0.2, abs=0.02)
+
+    def test_zero_rate_is_silent(self):
+        measured, runs = trace(OnOffProcess(8.0), 0.0, cycles=2_000)
+        assert measured == 0.0 and not runs
+
+
+class TestBurstGeometry:
+    """ON-run lengths are geometric with mean burst_length."""
+
+    def runs_at_full_on_rate(self, burst_length, rate=0.2):
+        # on_rate=1.0 with a single-flit mix injects every ON cycle, so
+        # consecutive-injection runs are exactly the chain's ON dwells
+        _, runs = trace(OnOffProcess(burst_length=burst_length), rate)
+        assert len(runs) > 400  # enough bursts for the moments below
+        return runs
+
+    @pytest.mark.parametrize("burst_length", [4.0, 8.0, 16.0])
+    def test_mean_burst_length_matches(self, burst_length):
+        runs = self.runs_at_full_on_rate(burst_length)
+        assert statistics.mean(runs) == pytest.approx(burst_length, rel=0.12)
+
+    def test_geometric_shape(self):
+        # memorylessness: P(len == 1) = 1/L, and the continuation
+        # probability beyond any cut is (1 - 1/L)
+        runs = self.runs_at_full_on_rate(8.0)
+        p_one = sum(1 for r in runs if r == 1) / len(runs)
+        assert p_one == pytest.approx(1 / 8, abs=0.035)
+        continue_past_2 = sum(1 for r in runs if r > 2) / sum(
+            1 for r in runs if r >= 2
+        )
+        assert continue_past_2 == pytest.approx(7 / 8, abs=0.05)
+
+    def test_longer_bursts_at_the_same_mean_have_longer_gaps(self):
+        # same duty cycle => OFF gaps scale with the burst length
+        short = self.runs_at_full_on_rate(4.0)
+        long = self.runs_at_full_on_rate(16.0)
+        assert statistics.mean(long) > 2.5 * statistics.mean(short)
+
+
+class TestDrawStreamContract:
+    def test_bernoulli_process_is_the_default_and_memoryless(self):
+        assert BernoulliProcess().memoryless
+        assert not OnOffProcess().memoryless
+        assert not MMPProcess().memoryless
+
+    def test_default_process_replays_the_historical_stream(self):
+        # explicit BernoulliProcess and no process must generate the
+        # identical message sequence (same draws, same destinations)
+        outs = []
+        for process in (None, BernoulliProcess()):
+            t = SyntheticTraffic(MIXED_TRAFFIC, 0.3, seed=9, process=process)
+            t.bind(NocConfig())
+            outs.append(
+                [t.generate(c, n) for c in range(300) for n in range(16)]
+            )
+        assert outs[0] == outs[1]
+
+    def test_chain_streams_are_decorrelated_across_nodes(self):
+        t = SyntheticTraffic(
+            UNIFORM_UNICAST, 0.3, seed=9, process=OnOffProcess(8.0)
+        )
+        t.bind(NocConfig())
+        per_node = [
+            [bool(t.generate(c, n)) for c in range(400)] for n in range(4)
+        ]
+        assert len({tuple(p) for p in per_node}) == 4
+
+    def test_identical_generators_synchronise_the_chains(self):
+        t = SyntheticTraffic(
+            UNIFORM_UNICAST,
+            0.3,
+            seed=9,
+            identical_generators=True,
+            process=OnOffProcess(8.0),
+        )
+        t.bind(NocConfig())
+        for cycle in range(400):
+            outs = [bool(t.generate(cycle, n)) for n in range(16)]
+            assert len(set(outs)) == 1
+
+    def test_rebind_resets_the_chains(self):
+        t = SyntheticTraffic(
+            UNIFORM_UNICAST, 0.3, seed=9, process=OnOffProcess(8.0)
+        )
+        t.bind(NocConfig())
+        first = [t.generate(c, 0) for c in range(300)]
+        t.bind(NocConfig())
+        assert [t.generate(c, 0) for c in range(300)] == first
+
+
+class TestBurstinessAnalysis:
+    def test_bernoulli_has_no_dispersion(self):
+        p = BernoulliProcess()
+        assert rate_cv2(p, 0.3) == 0.0
+        assert dispersion_index(p, 0.3) == 1.0
+
+    def test_onoff_dispersion_grows_with_burst_length(self):
+        indices = [
+            dispersion_index(OnOffProcess(burst_length=length), 0.2)
+            for length in (2.0, 8.0, 32.0)
+        ]
+        assert indices == sorted(indices)
+        assert indices[0] > 1.0
+
+    def test_onoff_closed_form(self):
+        # at on_rate 1: cv2 = 1/R - 1 and I = 1 + 2 L (1 - R)^2
+        p = OnOffProcess(burst_length=8.0)
+        assert rate_cv2(p, 0.2) == pytest.approx(4.0)
+        assert dispersion_index(p, 0.2) == pytest.approx(
+            1 + 2 * 8.0 * (1 - 0.2) ** 2
+        )
+
+    def test_two_state_timescale_is_the_harmonic_dwell_mean(self):
+        # 1/(alpha+beta): at rate 0.2 with L=8, alpha = beta*duty/(1-duty)
+        p = OnOffProcess(burst_length=8.0)
+        beta = 1 / 8
+        alpha = beta * 0.2 / 0.8
+        assert burstiness_timescale(p, 0.2) == pytest.approx(
+            1 / (alpha + beta)
+        )
+        assert burstiness_timescale(BernoulliProcess(), 0.2) == 0.0
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            mean_rate,
+            peak_rate,
+            rate_cv2,
+            burstiness_timescale,
+            dispersion_index,
+        ],
+    )
+    def test_moments_reject_inexpressible_rates(self, fn):
+        # beyond max_rate the chain description is meaningless (an
+        # OFF-exit probability above one); the moments must fail with
+        # the package's domain error, not degrade into garbage
+        p = OnOffProcess(burst_length=8.0)
+        with pytest.raises(ValueError):
+            fn(p, 0.95)
+        with pytest.raises(ValueError):
+            fn(p, 1.0)  # the duty==1 division-by-zero corner
+        with pytest.raises(ValueError):
+            fn(p, -0.1)
+
+    def test_peak_rate(self):
+        assert peak_rate(OnOffProcess(on_rate=0.7), 0.2) == pytest.approx(0.7)
+        assert peak_rate(MMPProcess(), 0.25) == pytest.approx(0.5)
+
+    def test_expected_onset_shifts_earlier_for_bursty_processes(self):
+        reference = expected_onset_rate(MIXED_TRAFFIC, 4)
+        bursty = expected_onset_rate(
+            MIXED_TRAFFIC, 4, process=OnOffProcess(8.0)
+        )
+        burstier = expected_onset_rate(
+            MIXED_TRAFFIC, 4, process=OnOffProcess(32.0)
+        )
+        assert bursty < reference
+        assert burstier < bursty
+
+    def test_saturation_shift_is_one_for_the_default(self):
+        assert saturation_shift(MIXED_TRAFFIC, 4) == pytest.approx(1.0)
+        assert saturation_shift(
+            MIXED_TRAFFIC, 4, process=BernoulliProcess()
+        ) == pytest.approx(1.0)
+        assert saturation_shift(
+            MIXED_TRAFFIC, 4, process=OnOffProcess(8.0)
+        ) < 1.0
