@@ -20,12 +20,15 @@ reserved for changes to the *meaning* of already-cached results.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import tempfile
 from pathlib import Path
 
 from repro.noc.metrics import WindowStats
+
+logger = logging.getLogger(__name__)
 
 
 def _jsonify(value):
@@ -50,18 +53,55 @@ CACHE_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+#: Persistent hit/miss/put totals, accumulated across sessions.  The
+#: ``.meta`` extension keeps it outside the ``*.json`` entry glob and
+#: the ``*.telemetry`` sidecar glob.
+COUNTERS_FILE = "counters.meta"
+
+_COUNTER_KEYS = ("hits", "misses", "puts")
+
 
 class ResultCache:
-    """JSON-file store mapping JobSpec content hashes to WindowStats."""
+    """JSON-file store mapping JobSpec content hashes to WindowStats.
+
+    Besides the entries themselves the cache keeps two kinds of
+    bookkeeping, neither of which participates in content addressing:
+
+    * **counters** — per-instance ``hits``/``misses``/``puts`` tallies,
+      folded into the persistent ``counters.meta`` totals by
+      :meth:`flush_counters` (the executor flushes after each batch);
+    * **telemetry sidecars** — optional ``<key>.telemetry`` files
+      holding run telemetry (phase profile, wall-clock timing) for the
+      entry with the same key.  Sidecars are written separately from
+      entries and ignored by :meth:`get`, so enabling telemetry never
+      changes a cache key or invalidates an existing result.
+    """
 
     def __init__(self, root=DEFAULT_CACHE_DIR):
         self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._flushed = dict.fromkeys(_COUNTER_KEYS, 0)
 
     def path_for(self, job):
         return self.root / f"{job.cache_key}.json"
 
+    def telemetry_path_for(self, job):
+        return self.root / f"{job.cache_key}.telemetry"
+
     def get(self, job):
         """The cached WindowStats for ``job``, or None on a miss."""
+        stats = self._lookup(job)
+        if stats is None:
+            self.misses += 1
+            logger.debug("cache miss for %s", job.cache_key[:12])
+        else:
+            self.hits += 1
+            logger.debug("cache hit for %s", job.cache_key[:12])
+        return stats
+
+    def _lookup(self, job):
         path = self.path_for(job)
         try:
             with open(path) as fh:
@@ -79,18 +119,49 @@ class ResultCache:
 
     def put(self, job, stats):
         """Store ``stats`` for ``job`` (atomically, last writer wins)."""
-        self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "version": CACHE_VERSION,
             "key": job.cache_key,
             "job": job.to_dict(),
             "stats": stats.to_dict(),
         }
+        self._write_atomic(self.path_for(job), entry)
+        self.puts += 1
+
+    def put_telemetry(self, job, telemetry):
+        """Store run telemetry in the entry's ``.telemetry`` sidecar.
+
+        The sidecar is keyed like the entry but written independently:
+        it never touches the entry file, so the result's content
+        address and bytes are identical with telemetry on or off.
+        """
+        self._write_atomic(
+            self.telemetry_path_for(job),
+            {
+                "version": CACHE_VERSION,
+                "key": job.cache_key,
+                "telemetry": telemetry,
+            },
+        )
+
+    def get_telemetry(self, job):
+        """The telemetry sidecar for ``job``, or None."""
+        try:
+            with open(self.telemetry_path_for(job)) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        return entry.get("telemetry")
+
+    def _write_atomic(self, path, entry):
+        self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(_jsonify(entry), fh, sort_keys=True, allow_nan=False)
-            os.replace(tmp, self.path_for(job))
+            os.replace(tmp, path)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -98,31 +169,97 @@ class ResultCache:
                 pass
             raise
 
+    # ----------------------------------------------------------- counters
+
+    def counters(self):
+        """This instance's hit/miss/put tallies."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def lifetime_counters(self):
+        """Persistent totals from ``counters.meta`` (zeros if absent),
+        plus this instance's not-yet-flushed activity."""
+        totals = self._read_counters_file()
+        current = self.counters()
+        return {
+            key: totals[key] + current[key] - self._flushed[key]
+            for key in _COUNTER_KEYS
+        }
+
+    def _read_counters_file(self):
+        try:
+            with open(self.root / COUNTERS_FILE) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+        return {key: int(data.get(key, 0)) for key in _COUNTER_KEYS}
+
+    def flush_counters(self):
+        """Fold unflushed instance tallies into ``counters.meta``.
+
+        Returns the persistent totals after the merge.  Called by the
+        executor after each batch; safe to call at any time (flushing
+        twice adds nothing).
+        """
+        current = self.counters()
+        if all(current[key] == self._flushed[key] for key in _COUNTER_KEYS):
+            return self._read_counters_file()
+        totals = self._read_counters_file()
+        for key in _COUNTER_KEYS:
+            totals[key] += current[key] - self._flushed[key]
+        self._write_atomic(self.root / COUNTERS_FILE, totals)
+        self._flushed = current
+        return totals
+
+    # -------------------------------------------------------- maintenance
+
     def _entries(self):
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*.json"))
 
+    def _sidecars(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.telemetry"))
+
     def stats(self):
-        """Occupancy summary: entry count and total size in bytes."""
+        """Occupancy and counter summary (read-only).
+
+        ``session`` covers this :class:`ResultCache` instance;
+        ``lifetime`` is the persistent total including the session's
+        not-yet-flushed activity.
+        """
         entries = self._entries()
+        sidecars = self._sidecars()
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "telemetry_sidecars": len(sidecars),
+            "telemetry_bytes": sum(p.stat().st_size for p in sidecars),
+            "session": self.counters(),
+            "lifetime": self.lifetime_counters(),
         }
 
     def clear(self):
         """Delete every cached result; returns the number removed.
 
-        Also sweeps up ``*.tmp`` files orphaned by an interrupted
-        :meth:`put` (e.g. a SIGKILL between write and rename).
+        Telemetry sidecars and the persistent counters go with the
+        entries, and ``*.tmp`` files orphaned by an interrupted
+        :meth:`put` (e.g. a SIGKILL between write and rename) are swept
+        up too.
         """
         removed = 0
         for path in self._entries():
             path.unlink()
             removed += 1
         if self.root.is_dir():
-            for orphan in self.root.glob("*.tmp"):
+            for orphan in (
+                *self.root.glob("*.tmp"),
+                *self._sidecars(),
+                *self.root.glob(COUNTERS_FILE),
+            ):
                 orphan.unlink()
+        self._flushed = self.counters()
+        logger.debug("cleared %d cache entries under %s", removed, self.root)
         return removed

@@ -1,6 +1,6 @@
 """The ``repro`` command line (also reachable as ``python -m repro``).
 
-Three subcommands drive the experiment engine:
+Five subcommands drive the experiment engine:
 
 * ``repro sweep``  — run a latency-throughput sweep for any preset
   config and traffic mix, on the serial or process-pool backend, with
@@ -8,13 +8,23 @@ Three subcommands drive the experiment engine:
 * ``repro figure`` — regenerate a paper exhibit via the drivers in
   :mod:`repro.harness.experiments` (fig5/fig13 route through the
   engine and benefit from caching and parallelism);
+* ``repro trace``  — run one operating point with event tracing and
+  export the capture as Chrome trace-event JSON (``chrome://tracing``
+  / Perfetto) and optionally JSONL;
+* ``repro stats``  — run one operating point with the periodic metrics
+  sampler and print link-utilization heatmaps and congestion figures;
 * ``repro cache``  — inspect (``stats``) or empty (``clear``) the
   persistent result cache.
+
+Diagnostics go through :mod:`logging` (stderr, ``repro:`` prefix;
+``-v``/``-q`` select the level); figure and table output — the data a
+script would parse — stays on stdout, byte-stable.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from pprint import pformat
@@ -44,6 +54,8 @@ from repro.traffic.processes import (
     OnOffProcess,
     process_names,
 )
+
+logger = logging.getLogger(__name__)
 
 CONFIGS = {
     "proposed": proposed_network,
@@ -288,6 +300,13 @@ def _add_engine_args(parser):
         action="store_true",
         help="recompute every point; do not read or write the cache",
     )
+    group.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="profile fresh runs and store run telemetry in .telemetry "
+        "sidecars next to the cached results (results stay "
+        "byte-identical; see DESIGN.md §7)",
+    )
 
 
 def _add_cycle_args(parser, defaults=True):
@@ -304,18 +323,77 @@ def _add_cycle_args(parser, defaults=True):
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
 
+def _add_verbosity_args(parser, root=False):
+    # the flags are accepted both before and after the subcommand; the
+    # subparser copies use SUPPRESS so an absent flag does not clobber
+    # a value already parsed by the root parser
+    default = 0 if root else argparse.SUPPRESS
+    group = parser.add_argument_group("diagnostics")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=default,
+        help="more diagnostics on stderr (DEBUG level)",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=default,
+        help="fewer diagnostics on stderr (-q warnings only, -qq errors)",
+    )
+
+
+def _configure_logging(args):
+    """Point the ``repro`` package logger at stderr per ``-v``/``-q``.
+
+    Only the package logger is touched (never the root logger), and the
+    handler is replaced on every invocation so back-to-back ``main()``
+    calls — the test suite, or an embedding REPL — always log to the
+    *current* ``sys.stderr``.
+    """
+    verbosity = getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity == 0:
+        level = logging.INFO
+    elif verbosity == -1:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("repro: %(levelname)s: %(message)s"))
+    package = logging.getLogger("repro")
+    package.handlers[:] = [handler]
+    package.setLevel(level)
+
+
 def _make_executor(args):
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return Executor(backend=args.backend, workers=args.workers, cache=cache)
-
-
-def _print_engine_summary(executor):
-    print(
-        f"[engine] backend={executor.backend.name} "
-        f"executed={executor.executed} "
-        f"cache_hits={executor.cache_hits} "
-        f"cache_misses={executor.cache_misses}"
+    return Executor(
+        backend=args.backend,
+        workers=args.workers,
+        cache=cache,
+        telemetry=args.telemetry,
     )
+
+
+def _log_engine_summary(executor):
+    logger.info(
+        "[engine] backend=%s executed=%d cache_hits=%d cache_misses=%d",
+        executor.backend.name,
+        executor.executed,
+        executor.cache_hits,
+        executor.cache_misses,
+    )
+    batch = executor.last_batch
+    if batch is not None:
+        logger.debug(
+            "[engine] last batch: %d job(s) in %.2fs wall",
+            batch["jobs"],
+            batch["wall_seconds"],
+        )
 
 
 def _print_sweep(points, title):
@@ -371,7 +449,7 @@ def cmd_sweep(args):
         f"{args.config} / {mix.name} / {args.pattern} / {args.routing} / "
         f"{args.injection} latency-throughput sweep",
     )
-    _print_engine_summary(executor)
+    _log_engine_summary(executor)
     return 0
 
 
@@ -400,7 +478,7 @@ def cmd_figure(args):
         for key, value in summary.items():
             shown = f"{value:.4g}" if isinstance(value, float) else value
             print(f"{key:32s}: {shown}")
-        _print_engine_summary(executor)
+        _log_engine_summary(executor)
     else:
         engine_flags = (
             args.backend != "serial"
@@ -425,11 +503,11 @@ def cmd_figure(args):
             or args.mmp_dwells is not None
         )
         if engine_flags or window_flags:
-            print(
-                f"note: engine and measurement-window options only apply "
-                f"to {'/'.join(sorted(SWEEP_FIGURES))}; ignored for "
-                f"{args.name}",
-                file=sys.stderr,
+            logger.warning(
+                "engine and measurement-window options only apply to %s; "
+                "ignored for %s",
+                "/".join(sorted(SWEEP_FIGURES)),
+                args.name,
             )
         result = PLAIN_FIGURES[args.name]()
         print(pformat(result))
@@ -444,13 +522,161 @@ def cmd_cache(args):
             f"{info['entries']} cached result(s), {info['bytes']} bytes "
             f"in {info['root']}"
         )
+        print(
+            f"{info['telemetry_sidecars']} telemetry sidecar(s), "
+            f"{info['telemetry_bytes']} bytes"
+        )
+        life = info["lifetime"]
+        print(
+            f"lifetime counters: {life['hits']} hit(s), "
+            f"{life['misses']} miss(es), {life['puts']} put(s)"
+        )
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
     return 0
 
 
+# ------------------------------------------------------- observed points
+
+
+def _run_observed_point(args, trace):
+    """Simulate one operating point with an Observer attached.
+
+    Shared by ``repro trace`` (tracing + sampling) and ``repro stats``
+    (sampling only); both also profile, so the run reports cycles/s.
+    Returns ``(sim, observer, window_stats)``.
+    """
+    from repro.noc.simulator import Simulator
+    from repro.obs import Observer
+    from repro.traffic.generators import SyntheticTraffic
+
+    config = CONFIGS[args.config]()
+    routing = _make_routing(args)
+    if routing is not None:
+        config = config.with_(routing=routing)
+    traffic = SyntheticTraffic(
+        MIXES[args.mix],
+        args.rate,
+        seed=args.seed,
+        pattern=_make_traffic_pattern(args),
+        process=_make_injection(args),
+    )
+    sim = Simulator(config, traffic, name=args.config)
+    obs = Observer(
+        trace=trace,
+        capacity=getattr(args, "ring", None) or 65_536,
+        sample=args.sample_interval,
+        profile=True,
+    ).attach(sim)
+    logger.info(
+        "observed run: %s / %s / rate=%g / %d+%d+%d cycles",
+        args.config, args.mix, args.rate,
+        args.warmup, args.measure, args.drain,
+    )
+    stats = sim.run_experiment(
+        warmup=args.warmup, measure=args.measure, drain=args.drain
+    )
+    obs.detach()
+    profile = obs.profiler.report(
+        obs.tracer.recorded if obs.tracer is not None else 0
+    )
+    logger.info(
+        "simulated %d cycles in %.2fs (%.0f cycles/s), stop_reason=%s",
+        profile["cycles"], profile["wall_seconds"],
+        profile["cycles_per_second"], stats.stop_reason,
+    )
+    return sim, obs, stats
+
+
+def _print_point_summary(stats):
+    latency = (
+        f"{stats.avg_latency:.1f}" if stats.avg_latency == stats.avg_latency
+        else "n/a"
+    )
+    print(
+        f"stop_reason={stats.stop_reason} messages={stats.messages_measured} "
+        f"avg_latency={latency} "
+        f"throughput={stats.throughput_flits_per_cycle:.4f} flits/cyc"
+    )
+
+
+def cmd_trace(args):
+    from repro.obs.tracer import EVENT_KINDS
+
+    sim, obs, stats = _run_observed_point(args, trace=True)
+    tracer = obs.tracer
+    _print_point_summary(stats)
+    print(
+        f"events: {tracer.recorded} recorded, {len(tracer)} buffered, "
+        f"{tracer.dropped} dropped (ring capacity {tracer.capacity})"
+    )
+    counts = tracer.counts()
+    for kind in EVENT_KINDS:
+        if counts[kind]:
+            print(f"  {kind:10s} {counts[kind]}")
+    written = obs.export_chrome_trace(args.out)
+    print(f"chrome trace: {args.out} ({written} trace events)")
+    if args.events is not None:
+        lines = obs.export_jsonl(args.events)
+        print(f"event log: {args.events} ({lines} records)")
+    print()
+    print(obs.sampler.heatmap_text(sim.cfg.k))
+    return 0
+
+
+def cmd_stats(args):
+    sim, obs, stats = _run_observed_point(args, trace=False)
+    sampler = obs.sampler
+    _print_point_summary(stats)
+    summary = sampler.summary()
+    print(
+        f"samples={summary['samples']} (every {summary['interval']} cycles) "
+        f"mean_active_routers={summary.get('mean_active_routers', 0):.2f} "
+        f"peak_occupancy={summary.get('peak_occupancy', 0)} "
+        f"peak_backlog={summary.get('peak_backlog', 0)}"
+    )
+    print()
+    print(obs.sampler.heatmap_text(sim.cfg.k))
+    print()
+    print("hottest links (utilization, src -> dst):")
+    for util, src, dst in sampler.hottest_links(args.top):
+        print(f"  {util:6.1%}  {src} -> {dst}")
+    if args.plot is not None:
+        try:
+            sampler.heatmap_figure(sim.cfg.k, args.plot)
+        except RuntimeError as exc:
+            raise ValueError(str(exc)) from None
+        print(f"heatmap figure: {args.plot}")
+    return 0
+
+
 # ------------------------------------------------------------------ parser
+
+
+def _add_point_args(parser):
+    """Arguments selecting a single observed operating point (shared by
+    ``repro trace`` and ``repro stats``)."""
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="proposed")
+    parser.add_argument("--mix", choices=sorted(MIXES), default="mixed")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        metavar="R",
+        help="injection rate in flits/node/cycle (default: 0.05)",
+    )
+    _add_pattern_args(parser)
+    _add_routing_args(parser)
+    _add_injection_args(parser)
+    _add_cycle_args(parser, defaults=True)
+    parser.add_argument(
+        "--sample-interval",
+        type=_positive_int,
+        default=64,
+        metavar="CYCLES",
+        help="metrics-sampling period (default: 64)",
+    )
 
 
 def build_parser():
@@ -459,6 +685,7 @@ def build_parser():
         description="Parallel, cached experiment engine for the DAC'12 "
         "mesh-NoC reproduction.",
     )
+    _add_verbosity_args(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser(
@@ -490,6 +717,7 @@ def build_parser():
     _add_injection_args(sweep)
     _add_cycle_args(sweep, defaults=True)
     _add_engine_args(sweep)
+    _add_verbosity_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     figure = sub.add_parser(
@@ -510,7 +738,57 @@ def build_parser():
     _add_injection_args(figure)
     _add_cycle_args(figure, defaults=False)
     _add_engine_args(figure)
+    _add_verbosity_args(figure)
     figure.set_defaults(func=cmd_figure)
+
+    trace = sub.add_parser(
+        "trace", help="trace one operating point and export a Chrome "
+        "trace-event capture"
+    )
+    _add_point_args(trace)
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace-event output file (default: trace.json)",
+    )
+    trace.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="also write the raw event records as JSON lines",
+    )
+    trace.add_argument(
+        "--ring",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="trace ring-buffer capacity in events (default: 65536; "
+        "oldest events drop first)",
+    )
+    _add_verbosity_args(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="sample one operating point and print congestion "
+        "heatmaps and figures"
+    )
+    _add_point_args(stats)
+    stats.add_argument(
+        "--top",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="how many hottest links to list (default: 8)",
+    )
+    stats.add_argument(
+        "--plot",
+        default=None,
+        metavar="PATH",
+        help="save a matplotlib heatmap figure (requires matplotlib)",
+    )
+    _add_verbosity_args(stats)
+    stats.set_defaults(func=cmd_stats)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
@@ -520,6 +798,7 @@ def build_parser():
         metavar="DIR",
         help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
     )
+    _add_verbosity_args(cache)
     cache.set_defaults(func=cmd_cache)
 
     return parser
@@ -527,6 +806,7 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     try:
         return args.func(args)
     except ValueError as exc:  # domain validation (rates, workers, ...)

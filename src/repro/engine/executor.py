@@ -20,11 +20,15 @@ Two backends ship:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+from time import perf_counter
 
 from repro.engine.jobspec import JobSpec
 from repro.noc.metrics import WindowStats
+
+logger = logging.getLogger(__name__)
 
 
 class SerialBackend:
@@ -35,10 +39,31 @@ class SerialBackend:
     def run(self, jobs):
         return [job.run() for job in jobs]
 
+    def run_profiled(self, jobs):
+        """Like :meth:`run`, returning ``(stats, telemetry)`` pairs."""
+        return [job.run_profiled() for job in jobs]
+
 
 def _run_payload(payload):
     """Worker entry point: dict in, dict out (must be module-level)."""
     return JobSpec.from_dict(payload).run().to_dict()
+
+
+def _run_payload_profiled(payload):
+    """Worker entry point for telemetry runs: adds worker timing.
+
+    The profile's wall-clock numbers are measured inside the worker;
+    ``worker_seconds`` additionally covers the job's deserialize +
+    simulate + serialize span, so pool scheduling overhead is the gap
+    between it and the executor's batch wall time.
+    """
+    start = perf_counter()
+    stats, telemetry = JobSpec.from_dict(payload).run_profiled()
+    telemetry["worker"] = {
+        "pid": os.getpid(),
+        "worker_seconds": perf_counter() - start,
+    }
+    return stats.to_dict(), telemetry
 
 
 class ProcessPoolBackend:
@@ -51,14 +76,29 @@ class ProcessPoolBackend:
             raise ValueError("worker count must be at least one")
         self.workers = workers
 
+    def _pool_size(self, jobs):
+        return min(self.workers or os.cpu_count() or 1, len(jobs))
+
     def run(self, jobs):
-        workers = min(self.workers or os.cpu_count() or 1, len(jobs))
+        workers = self._pool_size(jobs)
         if workers <= 1:
             return SerialBackend().run(jobs)
         payloads = [job.to_dict() for job in jobs]
         with multiprocessing.Pool(processes=workers) as pool:
             results = pool.map(_run_payload, payloads, chunksize=1)
         return [WindowStats.from_dict(d) for d in results]
+
+    def run_profiled(self, jobs):
+        """Like :meth:`run`, returning ``(stats, telemetry)`` pairs."""
+        workers = self._pool_size(jobs)
+        if workers <= 1:
+            return SerialBackend().run_profiled(jobs)
+        payloads = [job.to_dict() for job in jobs]
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(_run_payload_profiled, payloads, chunksize=1)
+        return [
+            (WindowStats.from_dict(d), telemetry) for d, telemetry in results
+        ]
 
 
 _BACKENDS = {
@@ -93,19 +133,30 @@ class Executor:
     * ``cache_hits`` — jobs answered from the cache,
     * ``cache_misses`` — jobs not found in the cache,
     * ``executed`` — simulations actually run (== misses).
+
+    With ``telemetry=True`` each fresh job runs with the phase profiler
+    attached and its run telemetry is stored in the cache's
+    ``.telemetry`` sidecar (when a cache is present).  Results stay
+    byte-identical either way — telemetry is observation, not state —
+    and ``last_batch`` summarises the most recent :meth:`run`.
     """
 
-    def __init__(self, backend="serial", workers=None, cache=None):
+    def __init__(self, backend="serial", workers=None, cache=None,
+                 telemetry=False):
         if isinstance(backend, str):
             backend = make_backend(backend, workers=workers)
         self.backend = backend
         self.cache = cache
+        self.telemetry = telemetry
         self.cache_hits = 0
         self.cache_misses = 0
         self.executed = 0
+        #: summary of the most recent batch (None before the first)
+        self.last_batch = None
 
     def run(self, jobs):
         """Execute a batch; returns WindowStats in the order of ``jobs``."""
+        start = perf_counter()
         jobs = list(jobs)
         results = [None] * len(jobs)
         pending, pending_at = [], []
@@ -118,17 +169,42 @@ class Executor:
                 self.cache_misses += 1
                 pending.append(job)
                 pending_at.append(i)
-        fresh = self.backend.run(pending) if pending else []
+        telemetries = None
+        if not pending:
+            fresh = []
+        elif self.telemetry:
+            pairs = self.backend.run_profiled(pending)
+            fresh = [stats for stats, _telemetry in pairs]
+            telemetries = [telemetry for _stats, telemetry in pairs]
+        else:
+            fresh = self.backend.run(pending)
         if len(fresh) != len(pending):
             raise RuntimeError(
                 f"backend {getattr(self.backend, 'name', self.backend)!r} "
                 f"returned {len(fresh)} results for {len(pending)} jobs"
             )
         self.executed += len(pending)
-        for i, job, stats in zip(pending_at, pending, fresh):
+        for n, (i, job, stats) in enumerate(zip(pending_at, pending, fresh)):
             if self.cache is not None:
                 self.cache.put(job, stats)
+                if telemetries is not None:
+                    self.cache.put_telemetry(job, telemetries[n])
             results[i] = stats
+        if self.cache is not None:
+            self.cache.flush_counters()
+        wall = perf_counter() - start
+        self.last_batch = {
+            "jobs": len(jobs),
+            "hits": len(jobs) - len(pending),
+            "executed": len(pending),
+            "backend": getattr(self.backend, "name", str(self.backend)),
+            "wall_seconds": wall,
+        }
+        logger.debug(
+            "batch of %d jobs: %d cached, %d executed on %s in %.2fs",
+            len(jobs), len(jobs) - len(pending), len(pending),
+            self.last_batch["backend"], wall,
+        )
         return results
 
     def run_one(self, job):

@@ -138,8 +138,7 @@ class JobSpec:
 
     # ----------------------------------------------------------- execution
 
-    def run(self):
-        """Simulate this point on a fresh network; returns WindowStats."""
+    def _simulator(self):
         traffic = SyntheticTraffic(
             self.mix,
             self.rate,
@@ -148,7 +147,31 @@ class JobSpec:
             pattern=self.pattern,
             process=self.injection,
         )
-        sim = Simulator(self.config, traffic, name=self.name)
-        return sim.run_experiment(
+        return Simulator(self.config, traffic, name=self.name)
+
+    def run(self):
+        """Simulate this point on a fresh network; returns WindowStats."""
+        return self._simulator().run_experiment(
             warmup=self.warmup, measure=self.measure, drain=self.drain
         )
+
+    def run_profiled(self):
+        """Like :meth:`run` with the phase profiler attached; returns
+        ``(WindowStats, telemetry dict)``.
+
+        The stats are byte-identical to :meth:`run` — profiling is
+        read-only observation (DESIGN.md §7) — so callers may cache
+        them under the same content address.  The import is local to
+        keep :mod:`repro.obs` off the unprofiled path entirely.
+        """
+        from repro.obs import Observer
+
+        sim = self._simulator()
+        obs = Observer(trace=False, profile=True).attach(sim)
+        stats = sim.run_experiment(
+            warmup=self.warmup, measure=self.measure, drain=self.drain
+        )
+        telemetry = obs.report()
+        obs.detach()
+        telemetry["stop_reason"] = stats.stop_reason
+        return stats, telemetry

@@ -28,7 +28,9 @@ _NO_PAYLOADS = []
 class Channel:
     """A fixed-delay, in-order pipe carrying at most one payload per cycle."""
 
-    __slots__ = ("delay", "name", "wake", "_queue", "_last_send_cycle")
+    __slots__ = (
+        "delay", "name", "wake", "probe", "cid", "_queue", "_last_send_cycle"
+    )
 
     def __init__(self, delay=1, name="", wake=None):
         if delay < 1:
@@ -39,6 +41,13 @@ class Channel:
         #: network can wake the receiving component (``None`` when the
         #: channel is used standalone, outside a gated mesh).
         self.wake = wake
+        #: observability hook (DESIGN.md §7): called as ``probe(channel,
+        #: cycle, payload)`` on every accepted send.  ``None`` (the
+        #: default) keeps the fast path at a single identity test; an
+        #: attached observer sets it on flit links only, together with
+        #: ``cid`` (its index into the observer's link table).
+        self.probe = None
+        self.cid = None
         self._queue = deque()
         self._last_send_cycle = None
 
@@ -51,6 +60,8 @@ class Channel:
         self._last_send_cycle = cycle
         arrival = cycle + self.delay
         self._queue.append((arrival, payload))
+        if self.probe is not None:
+            self.probe(self, cycle, payload)
         if self.wake is not None:
             self.wake(arrival)
 

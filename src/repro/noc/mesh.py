@@ -243,6 +243,32 @@ class MeshNetwork:
     # introspection
     # ------------------------------------------------------------------
 
+    def flit_links(self):
+        """The directed router-to-router flit links, in a deterministic
+        order, as ``(((x, y), (nx, ny)), channel)`` pairs.
+
+        The coordinate-pair keys match the channel-load maps of
+        :mod:`repro.analysis.pattern_limits`, so a measured link-flit
+        count is directly comparable with the analytic prediction for
+        the same link.  Local injection/ejection links are excluded —
+        they are observed at the NIC (inject/eject events) instead.
+        """
+        k = self.cfg.k
+        links = []
+        for node in range(self.cfg.num_nodes):
+            x, y = coords(node, k)
+            for port, (nx, ny) in (
+                (NORTH, (x, y + 1)),
+                (EAST, (x + 1, y)),
+                (SOUTH, (x, y - 1)),
+                (WEST, (x - 1, y)),
+            ):
+                if not (0 <= nx < k and 0 <= ny < k):
+                    continue
+                channel = self.routers[node].out_ports[port].link_out
+                links.append((((x, y), (nx, ny)), channel))
+        return links
+
     def occupancy(self):
         return sum(r.occupancy() for r in self.routers)
 

@@ -90,6 +90,10 @@ class WindowStats:
     throughput_gbps: float
     bypass_fraction: float
     incomplete_messages: int
+    #: why the experiment ended: ``completed`` (normal), ``watchdog``
+    #: (the no-progress watchdog tripped mid-run) or ``max-cycles``
+    #: (the drain cap expired with work still in flight)
+    stop_reason: str = "completed"
 
     @property
     def saturated_heuristic(self):
@@ -114,11 +118,20 @@ class WindowStats:
             "throughput_gbps": self.throughput_gbps,
             "bypass_fraction": self.bypass_fraction,
             "incomplete_messages": self.incomplete_messages,
+            "stop_reason": self.stop_reason,
         }
 
     @classmethod
     def from_dict(cls, data):
-        kwargs = {f.name: data[f.name] for f in fields(cls)}
+        # ``stop_reason`` postdates the on-disk cache format; entries
+        # written before it exist are complete runs by construction
+        # (a watchdog abort never reached the cache)
+        kwargs = {
+            f.name: data.get("stop_reason", "completed")
+            if f.name == "stop_reason"
+            else data[f.name]
+            for f in fields(cls)
+        }
         # the result cache stores non-finite floats as null (strict
         # JSON has no NaN token); restore them on the way back in
         for name in (
@@ -151,6 +164,7 @@ def summarize_window(
     ejected_flits,
     bypasses,
     xbar_inputs,
+    stop_reason="completed",
 ):
     """Build :class:`WindowStats` from raw window data."""
     completed = [m for m in messages if m.complete]
@@ -174,4 +188,5 @@ def summarize_window(
         throughput_gbps=thr * config.flit_bits * config.frequency_ghz,
         bypass_fraction=(bypasses / xbar_inputs) if xbar_inputs else 0.0,
         incomplete_messages=len(messages) - len(completed),
+        stop_reason=stop_reason,
     )

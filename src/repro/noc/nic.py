@@ -36,6 +36,9 @@ class Nic:
         self.queues = {mc: deque() for mc in MessageClass}
         self._mc_rr = deque(MessageClass)
         self._pending = None
+        #: observability hook (DESIGN.md §7): an attached observer
+        #: (``on_inject``/``on_eject`` methods), ``None`` by default.
+        self.probe = None
         #: owning :class:`~repro.noc.mesh.MeshNetwork` (``None`` standalone);
         #: notified whenever this NIC acquires injection work so the
         #: gated cycle loop knows to step it.
@@ -165,6 +168,8 @@ class Nic:
                         f"NIC {self.node} received a misrouted flit {flit}"
                     )
                 self.stats.ejected_flits += 1
+                if self.probe is not None:
+                    self.probe.on_eject(cycle, self.node, flit)
                 if flit.is_tail:
                     # reception convention: a flit sent during cycle c is
                     # visible at c+1 but was received at the end of c
@@ -229,6 +234,8 @@ class Nic:
                 self.stats.la_sent += 1
             self._pending = flit
             self.stats.injections += 1
+            if self.probe is not None:
+                self.probe.on_inject(cycle, self.node, flit)
             return
 
     # ------------------------------------------------------------------

@@ -92,6 +92,10 @@ class Router:
         #: owning :class:`~repro.noc.mesh.MeshNetwork` (``None`` standalone);
         #: carries the network-wide monotonic ejection counter.
         self.network = None
+        #: observability hook (DESIGN.md §7): an attached observer
+        #: (``on_route``/``on_vc_alloc``/``on_sa_grant`` methods).
+        #: ``None`` by default — probe sites cost one identity test.
+        self.probe = None
         # mSA-II scratch containers, reused across cycles so the hot
         # allocation path performs no per-call dict/set construction
         self._candidates = {}
@@ -121,6 +125,8 @@ class Router:
                         node, flit.destinations, flit.rheader
                     )
                 flit.route = lookup(node, flit.destinations, flit.rheader)
+                if self.probe is not None:
+                    self.probe.on_route(cycle, node, flit)
                 op = ip.st_ops.get(cycle)
                 if op is not None and op.kind == "bypass":
                     if ip.latch is not None:
@@ -242,7 +248,7 @@ class Router:
             return tracker.peek_free(mclass, phase) is not None
         return tracker.body_vc(pid) is not None
 
-    def _allocate(self, port, la_or_flit, phase):
+    def _allocate(self, cycle, port, la_or_flit, phase):
         """Allocate the downstream VC for one granted output branch."""
         tracker = self.out_ports[port].tracker
         if la_or_flit.is_head:
@@ -251,6 +257,8 @@ class Router:
             out_vc = tracker.consume_body(la_or_flit.pid)
         if out_vc is None:
             raise RuntimeError("allocation after a passing resource check failed")
+        if self.probe is not None:
+            self.probe.on_vc_alloc(cycle, self.node, port, out_vc, la_or_flit)
         return out_vc
 
     def _forward_lookahead(self, cycle, port, out_vc, subset, source,
@@ -319,7 +327,7 @@ class Router:
                 continue
             grants = {}
             for port, subset in route.items():
-                out_vc = self._allocate(port, la, phase)
+                out_vc = self._allocate(cycle, port, la, phase)
                 grants[port] = (out_vc, subset)
                 used_out.add(port)
                 self._forward_lookahead(
@@ -330,6 +338,8 @@ class Router:
                 kind="bypass", in_port=in_port, vc=la.vc, flit=None, grants=grants
             )
             self.stats.msa2_grants += 1
+            if self.probe is not None:
+                self.probe.on_sa_grant(cycle, self.node, la, "bypass")
 
     def _buffered_pass(self, cycle, used_out):
         """mSA-II among the buffered flits holding S2 registers."""
@@ -384,7 +394,7 @@ class Router:
             for port, subset in askable.items():
                 if winners.get(port) != in_port:
                     continue
-                out_vc = self._allocate(port, flit, flit.phase)
+                out_vc = self._allocate(cycle, port, flit, flit.phase)
                 grants[port] = (out_vc, subset)
                 flit.granted_ports.add(port)
                 self._forward_lookahead(
@@ -406,6 +416,8 @@ class Router:
                 pop=fully,
             )
             self.stats.msa2_grants += 1
+            if self.probe is not None:
+                self.probe.on_sa_grant(cycle, self.node, flit, "buffer")
 
     # ------------------------------------------------------------------
     # introspection

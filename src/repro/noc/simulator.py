@@ -33,6 +33,24 @@ from repro.noc.metrics import aggregate, summarize_window
 WATCHDOG_CYCLES = 10_000
 
 
+class SimulationStalled(RuntimeError):
+    """The watchdog found a busy network making no progress.
+
+    :meth:`Simulator.run_experiment` converts this into the
+    ``stop_reason="watchdog"`` field of its :class:`WindowStats` so
+    sweeps report the cause structurally; a bare :meth:`Simulator.run`
+    still propagates it (a stall outside the measurement harness is a
+    bug the caller must see).
+    """
+
+    def __init__(self, cycle, window=WATCHDOG_CYCLES):
+        super().__init__(
+            f"network made no progress for {window} cycles at "
+            f"cycle {cycle}: likely a flow-control bug"
+        )
+        self.cycle = cycle
+
+
 class Simulator:
     """Drives a :class:`MeshNetwork` cycle by cycle."""
 
@@ -45,6 +63,12 @@ class Simulator:
         self._last_progress = 0
         self._watchdog_start = 0
         self._watchdog_armed = False
+        #: attached :class:`repro.obs.observer.Observer` (``None`` when
+        #: unobserved).  The plain step functions carry no observer
+        #: hooks at all; :meth:`_stepper` swaps in the observed
+        #: variants while this is set, so an unobserved run pays
+        #: nothing for the observability layer (DESIGN.md §7).
+        self.obs = None
         #: gating effectiveness counters (diagnostics and tests):
         #: router-phase executions and NIC step/receive executions.
         self.router_cycles_executed = 0
@@ -87,10 +111,24 @@ class Simulator:
 
     def step(self):
         """Advance the whole network by one clock cycle."""
-        if self.gated:
-            self._step_gated()
-        else:
-            self._step_reference()
+        self._stepper()()
+
+    def _stepper(self):
+        """The bound step function for the current mode.
+
+        Observed variants exist as separate functions (rather than
+        ``if self.obs`` branches inside the plain ones) so an
+        unobserved run executes exactly the pre-observability hot
+        loop; the byte-identity tests in ``tests/obs`` guard the
+        variants against drifting apart.
+        """
+        if self.obs is None:
+            return self._step_gated if self.gated else self._step_reference
+        return (
+            self._step_gated_observed
+            if self.gated
+            else self._step_reference_observed
+        )
 
     def _step_gated(self):
         """Activity-gated step: iterate only the active sets.
@@ -164,8 +202,108 @@ class Simulator:
         self._check_watchdog(net.idle)
         self.cycle += 1
 
+    def _step_gated_observed(self):
+        """:meth:`_step_gated` with observer hooks (DESIGN.md §7).
+
+        Identical phase structure and identical simulation side
+        effects; the only additions are the begin/end cycle hooks and
+        the optional phase-profiler marks.  The observed byte-identity
+        tests assert this function never diverges from the plain one.
+        """
+        obs = self.obs
+        prof = obs.profiler
+        t = self.cycle
+        obs.begin_cycle(t)
+        net = self.network
+        routers = net.routers
+        nics = net.nics
+
+        woken = net.pop_router_wakes(t)
+        active = sorted(woken) if woken else ()
+        for i in active:
+            routers[i].receive(t)
+        rx = net.pop_nic_rx_wakes(t)
+        if rx:
+            self.nic_receives_executed += len(rx)
+            for i in sorted(rx):
+                nics[i].receive(t)
+        if prof is not None:
+            prof.mark("receive")
+        live = net.live_nics()
+        if live:
+            self.nic_steps_executed += len(live)
+            for i in live:
+                nic = nics[i]
+                nic.step(t)
+                if nic.source is None and nic.backlog() == 0:
+                    net.retire_nic_step(i)
+        if prof is not None:
+            prof.mark("nic")
+        for i in active:
+            routers[i].st_stage(t)
+        if prof is not None:
+            prof.mark("st")
+        for i in active:
+            routers[i].msa2_stage(t)
+        if prof is not None:
+            prof.mark("msa2")
+        for i in active:
+            routers[i].msa1_stage(t)
+        if active:
+            self.router_cycles_executed += len(active)
+            for i in active:
+                if routers[i].has_local_work():
+                    net.schedule_router_wake(i, t + 1)
+        if prof is not None:
+            prof.mark("msa1")
+        net.cycles += 1
+        self._check_watchdog(net.quiescent)
+        obs.end_cycle(t, active)
+        self.cycle += 1
+
+    def _step_reference_observed(self):
+        """:meth:`_step_reference` with observer hooks.
+
+        The reference loop has no active set, so the end-cycle hook
+        receives ``None`` (no wake/sleep events, ``nan`` active-set
+        samples).
+        """
+        obs = self.obs
+        prof = obs.profiler
+        t = self.cycle
+        obs.begin_cycle(t)
+        net = self.network
+        net.pop_router_wakes(t)
+        net.pop_nic_rx_wakes(t)
+        for router in net.routers:
+            router.receive(t)
+        for nic in net.nics:
+            nic.receive(t)
+        if prof is not None:
+            prof.mark("receive")
+        for nic in net.nics:
+            nic.step(t)
+        if prof is not None:
+            prof.mark("nic")
+        for router in net.routers:
+            router.st_stage(t)
+        if prof is not None:
+            prof.mark("st")
+        for router in net.routers:
+            router.msa2_stage(t)
+        if prof is not None:
+            prof.mark("msa2")
+        for router in net.routers:
+            router.msa1_stage(t)
+        if prof is not None:
+            prof.mark("msa1")
+        net.cycles += 1
+        self._check_watchdog(net.idle)
+        obs.end_cycle(t, None)
+        self.cycle += 1
+
     def run(self, cycles):
-        step = self._step_gated if self.gated else self._step_reference
+        step = self._stepper()
         for _ in range(cycles):
             step()
 
@@ -191,10 +329,7 @@ class Simulator:
             if quiet():
                 self._watchdog_armed = False
             elif self._watchdog_armed:
-                raise RuntimeError(
-                    f"network made no progress for {WATCHDOG_CYCLES} cycles at "
-                    f"cycle {self.cycle}: likely a flow-control bug"
-                )
+                raise SimulationStalled(self.cycle, WATCHDOG_CYCLES)
             else:
                 self._watchdog_armed = True
             self._watchdog_start = self.cycle
@@ -212,13 +347,28 @@ class Simulator:
         messages finish so low-load latency is unbiased; at saturation
         the drain cap keeps runtime bounded and unfinished messages are
         reported as ``incomplete_messages``.
+
+        Why the run ended is reported structurally in
+        ``WindowStats.stop_reason``: ``completed`` normally,
+        ``max-cycles`` when the drain cap expired with work in flight,
+        and ``watchdog`` when the no-progress watchdog tripped (the
+        :class:`SimulationStalled` is absorbed here — the numbers of a
+        stalled run are still useful for diagnosing *where* it stuck).
         """
         net = self.network
-        self.run(warmup)
+        stop_reason = "completed"
+        try:
+            self.run(warmup)
+        except SimulationStalled:
+            stop_reason = "watchdog"
         start_msgs = len(net.messages)
         start_activity = aggregate(net.router_stats).snapshot()
         start_nic = aggregate(net.nic_stats).snapshot()
-        self.run(measure)
+        if stop_reason == "completed":
+            try:
+                self.run(measure)
+            except SimulationStalled:
+                stop_reason = "watchdog"
         end_nic = aggregate(net.nic_stats)
         window_msgs = net.messages[start_msgs : len(net.messages)]
         # stop generating traffic, then drain
@@ -226,11 +376,18 @@ class Simulator:
         for nic in net.nics:
             nic.source = None
         quiet = net.quiescent if self.gated else net.idle
-        step = self._step_gated if self.gated else self._step_reference
+        step = self._stepper()
         drained = 0
-        while drained < drain and not quiet():
-            step()
-            drained += 1
+        if stop_reason == "completed":
+            try:
+                while drained < drain and not quiet():
+                    step()
+                    drained += 1
+            except SimulationStalled:
+                stop_reason = "watchdog"
+            else:
+                if drained >= drain and not quiet():
+                    stop_reason = "max-cycles"
         for nic, source in zip(net.nics, sources):
             nic.source = source
         end_activity = aggregate(net.router_stats)
@@ -246,6 +403,7 @@ class Simulator:
             ejected,
             delta.bypasses,
             delta.xbar_input_traversals,
+            stop_reason=stop_reason,
         )
 
     def activity(self):

@@ -32,12 +32,16 @@ class CreditMsg:
 class InputVC:
     """One virtual channel of a router input port."""
 
-    __slots__ = ("index", "spec", "buffer")
+    __slots__ = ("index", "spec", "buffer", "probe")
 
     def __init__(self, index, spec):
         self.index = index
         self.spec = spec
         self.buffer = deque()
+        #: observability hook (DESIGN.md §7): an attached observer's
+        #: per-router VC probe (``buf_write``/``buf_read`` methods).
+        #: ``None`` by default — one identity test per buffer access.
+        self.probe = None
 
     @property
     def mclass(self):
@@ -59,6 +63,8 @@ class InputVC:
         flit.stage = None
         flit.granted_ports = set()
         self.buffer.append(flit)
+        if self.probe is not None:
+            self.probe.buf_write(self, flit)
 
     def oldest_unrequested(self):
         """The flit that would bid in mSA-I, if any.
@@ -83,7 +89,10 @@ class InputVC:
     def pop(self, flit):
         if not self.buffer or self.buffer[0] is not flit:
             raise RuntimeError("out-of-order buffer pop: pipeline logic broken")
-        return self.buffer.popleft()
+        out = self.buffer.popleft()
+        if self.probe is not None:
+            self.probe.buf_read(self, flit)
+        return out
 
 
 class OutputVCTracker:

@@ -1,0 +1,41 @@
+"""Observability: event tracing, congestion metrics, run profiling.
+
+The subsystem is strictly opt-in (DESIGN.md §7): constructing an
+:class:`Observer` and attaching it to a simulator installs probes into
+the network's components; without one, every probe slot is ``None`` and
+the simulator runs its uninstrumented fast path.  Observation is
+read-only — an observed run produces byte-identical results.
+
+Typical use::
+
+    from repro.obs import Observer
+
+    obs = Observer(sample=64, profile=True).attach(sim)
+    stats = sim.run_experiment()
+    obs.export_chrome_trace("run.trace.json")
+    print(obs.sampler.heatmap_text(sim.cfg.k))
+    obs.detach()
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    event_dicts,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.observer import Observer
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.sampler import MetricsSampler
+from repro.obs.tracer import EVENT_KINDS, Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricsSampler",
+    "Observer",
+    "PhaseProfiler",
+    "Tracer",
+    "chrome_trace",
+    "event_dicts",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,5 +1,7 @@
 """The ``python -m repro`` command line, exercised in-process."""
 
+import json
+
 import pytest
 
 from repro.engine.cli import main
@@ -8,15 +10,19 @@ FAST_WINDOW = [
     "--warmup", "100", "--measure", "300", "--drain", "400",
 ]
 
+FAST_POINT = [
+    "--rate", "0.05", *FAST_WINDOW,
+]
+
 
 def run_cli(capsys, *argv):
     rc = main(list(argv))
     assert rc == 0
-    return capsys.readouterr().out
+    return capsys.readouterr()
 
 
 def test_sweep_prints_tables_and_counters(tmp_path, capsys):
-    out = run_cli(
+    captured = run_cli(
         capsys,
         "sweep",
         "--config", "proposed",
@@ -25,9 +31,10 @@ def test_sweep_prints_tables_and_counters(tmp_path, capsys):
         *FAST_WINDOW,
         "--cache-dir", str(tmp_path / "cache"),
     )
-    assert "latency (cyc)" in out
-    assert "Gb/s" in out
-    assert "executed=2" in out and "cache_hits=0" in out
+    assert "latency (cyc)" in captured.out
+    assert "Gb/s" in captured.out
+    # diagnostics go to stderr, keeping stdout parseable
+    assert "executed=2" in captured.err and "cache_hits=0" in captured.err
 
 
 def test_sweep_rerun_hits_cache(tmp_path, capsys):
@@ -36,8 +43,8 @@ def test_sweep_rerun_hits_cache(tmp_path, capsys):
         "--cache-dir", str(tmp_path / "cache"),
     ]
     run_cli(capsys, *argv)
-    out = run_cli(capsys, *argv)
-    assert "executed=0" in out and "cache_hits=1" in out
+    err = run_cli(capsys, *argv).err
+    assert "executed=0" in err and "cache_hits=1" in err
 
 
 def test_sweep_no_cache_leaves_no_files(tmp_path, capsys):
@@ -51,17 +58,37 @@ def test_sweep_no_cache_leaves_no_files(tmp_path, capsys):
 
 
 def test_sweep_auto_grid_uses_points(tmp_path, capsys):
-    out = run_cli(
+    captured = run_cli(
         capsys,
         "sweep", "--mix", "broadcast_only", "--points", "2",
         "--warmup", "50", "--measure", "150", "--drain", "200",
         "--cache-dir", str(tmp_path / "cache"),
     )
-    assert "executed=2" in out
+    assert "executed=2" in captured.err
+
+
+def test_quiet_silences_engine_summary(tmp_path, capsys):
+    captured = run_cli(
+        capsys,
+        "-q",
+        "sweep", "--rates", "0.02", *FAST_WINDOW,
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    assert "latency (cyc)" in captured.out  # data output is untouched
+    assert "executed=" not in captured.err
+
+
+def test_verbosity_flag_works_after_the_subcommand(tmp_path, capsys):
+    captured = run_cli(
+        capsys,
+        "sweep", "--rates", "0.02", *FAST_WINDOW,
+        "--cache-dir", str(tmp_path / "cache"), "-v",
+    )
+    assert "last batch" in captured.err  # DEBUG detail
 
 
 def test_figure_fig5_process_backend(tmp_path, capsys):
-    out = run_cli(
+    captured = run_cli(
         capsys,
         "figure", "fig5",
         "--rates", "0.02,0.05",
@@ -69,15 +96,15 @@ def test_figure_fig5_process_backend(tmp_path, capsys):
         "--backend", "process", "--workers", "2",
         "--cache-dir", str(tmp_path / "cache"),
     )
-    assert "fig5" in out
-    assert "low_load_latency_reduction" in out
-    assert "backend=process" in out and "executed=4" in out
+    assert "fig5" in captured.out
+    assert "low_load_latency_reduction" in captured.out
+    assert "backend=process" in captured.err and "executed=4" in captured.err
 
 
 def test_figure_table1_prints_rows(capsys):
-    out = run_cli(capsys, "figure", "table1")
-    assert "broadcast_hops" in out
-    assert capsys.readouterr().err == ""
+    captured = run_cli(capsys, "figure", "table1")
+    assert "broadcast_hops" in captured.out
+    assert captured.err == ""
 
 
 def test_figure_warns_when_engine_flags_ignored(capsys):
@@ -98,12 +125,53 @@ def test_cache_stats_and_clear(tmp_path, capsys):
         capsys,
         "sweep", "--rates", "0.02", *FAST_WINDOW, "--cache-dir", cache_dir,
     )
-    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir)
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir).out
     assert "1 cached result(s)" in out
-    out = run_cli(capsys, "cache", "clear", "--cache-dir", cache_dir)
+    assert "lifetime counters: 0 hit(s), 1 miss(es), 1 put(s)" in out
+    out = run_cli(capsys, "cache", "clear", "--cache-dir", cache_dir).out
     assert "removed 1" in out
-    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir)
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir).out
     assert "0 cached result(s)" in out
+    assert "0 hit(s), 0 miss(es), 0 put(s)" in out
+
+
+def test_sweep_telemetry_writes_sidecars(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    run_cli(
+        capsys,
+        "sweep", "--rates", "0.02", *FAST_WINDOW,
+        "--cache-dir", cache_dir, "--telemetry",
+    )
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir).out
+    assert "1 telemetry sidecar(s)" in out
+
+
+def test_trace_exports_valid_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    events_path = tmp_path / "events.jsonl"
+    captured = run_cli(
+        capsys,
+        "trace", *FAST_POINT,
+        "--out", str(trace_path), "--events", str(events_path),
+    )
+    assert "stop_reason=completed" in captured.out
+    assert "link utilization" in captured.out
+    data = json.loads(trace_path.read_text())
+    assert data["traceEvents"]
+    records = [
+        json.loads(line) for line in events_path.read_text().splitlines()
+    ]
+    assert records and all("kind" in r for r in records)
+
+
+def test_stats_prints_heatmap_and_hottest_links(capsys):
+    captured = run_cli(
+        capsys,
+        "stats", *FAST_POINT, "--pattern", "transpose", "--top", "3",
+    )
+    assert "link utilization" in captured.out
+    assert "hottest links" in captured.out
+    assert "stop_reason=completed" in captured.out
 
 
 def test_bad_rates_rejected(capsys):

@@ -40,6 +40,7 @@ GOLDEN_FIG5_MIXED_011 = {
     "injection_rate": 0.11,
     "messages_measured": 1364,
     "received_flits": 13744,
+    "stop_reason": "completed",
     "throughput_flits_per_cycle": 9.162666666666667,
     "throughput_gbps": 586.4106666666667,
 }
@@ -174,9 +175,9 @@ class TestCliPatternSweeps:
             ]
         )
         assert rc == 0
-        out = capsys.readouterr().out
-        assert name in out
-        assert "executed=1" in out
+        captured = capsys.readouterr()
+        assert name in captured.out
+        assert "executed=1" in captured.err
 
     def test_hotspot_runs_end_to_end(self, capsys):
         rc = cli.main(

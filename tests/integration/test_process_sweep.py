@@ -124,9 +124,9 @@ class TestCliInjectionSweeps:
             ]
         )
         assert rc == 0
-        out = capsys.readouterr().out
-        assert "onoff" in out
-        assert "executed=1" in out
+        captured = capsys.readouterr()
+        assert "onoff" in captured.out
+        assert "executed=1" in captured.err
 
     def test_mmp_runs_end_to_end(self, capsys):
         rc = cli.main(

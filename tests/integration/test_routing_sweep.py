@@ -235,9 +235,9 @@ class TestCliRoutingSweeps:
             ]
         )
         assert rc == 0
-        out = capsys.readouterr().out
-        assert name in out
-        assert "executed=1" in out
+        captured = capsys.readouterr()
+        assert name in captured.out
+        assert "executed=1" in captured.err
 
     def test_unknown_routing_is_an_argparse_error(self, capsys):
         with pytest.raises(SystemExit) as exc:

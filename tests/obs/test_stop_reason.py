@@ -1,0 +1,80 @@
+"""Structured run outcomes: WindowStats.stop_reason.
+
+A run that ends abnormally used to bury the cause in a RuntimeError;
+now ``run_experiment`` reports it structurally (``completed`` /
+``max-cycles`` / ``watchdog``) while the bare ``run`` entry point still
+raises, so interactive callers keep the loud failure.
+"""
+
+import json
+
+import pytest
+
+import repro.noc.simulator as simulator_module
+from repro import Simulator, proposed_network
+from repro.noc.flit import MessageClass
+from repro.noc.metrics import WindowStats
+from repro.noc.simulator import SimulationStalled
+from repro.traffic import MessageSpec, SyntheticBurst, SyntheticTraffic
+from repro.traffic.mix import MIXED_TRAFFIC
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+
+def _stalled_simulator():
+    """A mesh holding work it can never finish: a message is submitted
+    but every NIC's free-VC queue is emptied, so nothing ever injects
+    and the network stays busy without a single ejection."""
+    spec = MessageSpec(frozenset([15]), MessageClass.REQUEST, 1)
+    sim = Simulator(proposed_network(), SyntheticBurst({(5, 0): [spec]}))
+    for nic in sim.network.nics:
+        for key in nic.tracker._free:
+            nic.tracker._free[key].clear()
+    return sim
+
+
+class TestStopReason:
+    def test_normal_run_reports_completed(self):
+        traffic = SyntheticTraffic(MIXED_TRAFFIC, 0.03, seed=7)
+        stats = Simulator(proposed_network(), traffic).run_experiment(**FAST)
+        assert stats.stop_reason == "completed"
+
+    def test_saturated_drain_reports_max_cycles(self):
+        # far beyond saturation with a one-cycle drain cap: the window
+        # closes with messages still in flight
+        traffic = SyntheticTraffic(MIXED_TRAFFIC, 0.30, seed=7)
+        sim = Simulator(proposed_network(), traffic)
+        stats = sim.run_experiment(warmup=100, measure=300, drain=1)
+        assert stats.stop_reason == "max-cycles"
+        assert stats.incomplete_messages > 0
+
+    def test_watchdog_stall_is_absorbed_into_stop_reason(self, monkeypatch):
+        monkeypatch.setattr(simulator_module, "WATCHDOG_CYCLES", 50)
+        stats = _stalled_simulator().run_experiment(
+            warmup=0, measure=600, drain=100
+        )
+        assert stats.stop_reason == "watchdog"
+
+    def test_bare_run_still_raises(self, monkeypatch):
+        monkeypatch.setattr(simulator_module, "WATCHDOG_CYCLES", 50)
+        with pytest.raises(SimulationStalled) as exc:
+            _stalled_simulator().run(600)
+        assert "no progress" in str(exc.value)
+        assert exc.value.cycle > 0
+
+
+class TestRoundTrip:
+    def test_stop_reason_survives_to_dict_from_dict(self):
+        traffic = SyntheticTraffic(MIXED_TRAFFIC, 0.30, seed=7)
+        sim = Simulator(proposed_network(), traffic)
+        stats = sim.run_experiment(warmup=100, measure=300, drain=1)
+        clone = WindowStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone.stop_reason == "max-cycles"
+        assert clone == stats
+
+    def test_legacy_dict_without_stop_reason_defaults_to_completed(self):
+        traffic = SyntheticTraffic(MIXED_TRAFFIC, 0.03, seed=7)
+        stats = Simulator(proposed_network(), traffic).run_experiment(**FAST)
+        legacy = stats.to_dict()
+        del legacy["stop_reason"]  # entry written before this field
+        assert WindowStats.from_dict(legacy).stop_reason == "completed"

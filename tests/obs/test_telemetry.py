@@ -1,0 +1,148 @@
+"""Run telemetry: profiled execution, cache counters and sidecars.
+
+Telemetry is bookkeeping *about* runs, never part of them: profiled
+results must be byte-identical to plain ones, sidecars must never
+collide with cache entries, and counters must survive across cache
+instances via ``counters.meta``.
+"""
+
+import json
+
+from repro.core.presets import proposed_network
+from repro.engine import JobSpec, ResultCache
+from repro.engine.executor import Executor, SerialBackend
+from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.traffic.mix import MIXED_TRAFFIC
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+
+def make_job(**overrides):
+    base = dict(
+        config=proposed_network(), mix=MIXED_TRAFFIC, rate=0.03, **FAST
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def canonical(stats):
+    return json.dumps(stats.to_dict(), sort_keys=True)
+
+
+class TestProfiledExecution:
+    def test_run_profiled_is_byte_identical_to_run(self):
+        job = make_job()
+        plain = job.run()
+        profiled, telemetry = job.run_profiled()
+        assert canonical(profiled) == canonical(plain)
+        assert telemetry["stop_reason"] == "completed"
+        profile = telemetry["profile"]
+        assert profile["cycles"] > 0
+        assert profile["cycles_per_second"] > 0
+        assert set(profile["phase_seconds"]) == set(PHASES)
+
+    def test_backend_run_profiled_matches_run(self):
+        backend = SerialBackend()
+        jobs = [make_job(), make_job(rate=0.05)]
+        plain = backend.run(jobs)
+        pairs = backend.run_profiled(jobs)
+        assert [canonical(s) for s, _t in pairs] == [
+            canonical(s) for s in plain
+        ]
+
+    def test_executor_telemetry_writes_sidecars(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        executor = Executor(cache=cache, telemetry=True)
+        [stats] = executor.run([job])
+        assert canonical(stats) == canonical(job.run())
+        telemetry = cache.get_telemetry(job)
+        assert telemetry is not None
+        assert telemetry["profile"]["cycles"] > 0
+        assert "worker_seconds" in telemetry.get("worker", {
+            "worker_seconds": 0.0  # serial backend profiles in-process
+        })
+        # the sidecar is invisible to the entry glob and to get()
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["telemetry_sidecars"] == 1
+        assert canonical(cache.get(job)) == canonical(stats)
+
+    def test_cached_result_skips_telemetry_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        Executor(cache=cache).run([job])  # plain first run, no sidecar
+        assert cache.get_telemetry(job) is None
+        executor = Executor(cache=cache, telemetry=True)
+        executor.run([job])
+        assert executor.executed == 0  # hit; no fresh telemetry either
+        assert cache.get_telemetry(job) is None
+
+    def test_last_batch_summary(self, tmp_path):
+        executor = Executor(cache=ResultCache(tmp_path / "cache"))
+        executor.run([make_job()])
+        batch = executor.last_batch
+        assert batch["jobs"] == 1 and batch["executed"] == 1
+        assert batch["backend"] == "serial"
+        assert batch["wall_seconds"] > 0
+
+
+class TestCacheCounters:
+    def test_session_counters_track_activity(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        cache.get(job)
+        cache.put(job, job.run())
+        cache.get(job)
+        assert cache.counters() == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_flush_persists_and_is_idempotent(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        job = make_job()
+        cache.get(job)
+        cache.put(job, job.run())
+        totals = cache.flush_counters()
+        assert totals == {"hits": 0, "misses": 1, "puts": 1}
+        assert cache.flush_counters() == totals  # nothing new to fold
+        # a fresh instance sees the persisted totals plus its own
+        other = ResultCache(root)
+        other.get(job)
+        assert other.lifetime_counters() == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_counters_file_never_aliases_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        cache.put(job, job.run())
+        cache.flush_counters()
+        assert cache.stats()["entries"] == 1  # counters.meta not counted
+
+    def test_clear_removes_sidecars_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = make_job()
+        cache.put(job, job.run())
+        cache.put_telemetry(job, {"profile": {}})
+        cache.flush_counters()
+        assert cache.clear() == 1
+        assert list(cache.root.iterdir()) == []
+        assert cache.lifetime_counters() == {
+            "hits": 0, "misses": 0, "puts": 0,
+        }
+
+
+class TestPhaseProfiler:
+    def test_report_shares_sum_to_one(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            prof.begin_cycle()
+            for phase in PHASES:
+                prof.mark(phase)
+            prof.end_cycle()
+        report = prof.report(events=30)
+        assert report["cycles"] == 3
+        assert report["events_per_cycle"] == 10
+        assert abs(sum(report["phase_share"].values()) - 1.0) < 1e-9
+
+    def test_empty_profiler_reports_zeros(self):
+        report = PhaseProfiler().report()
+        assert report["cycles"] == 0
+        assert report["cycles_per_second"] == 0
