@@ -318,6 +318,75 @@ def probe_gate(overhead_limit=0.02, repeats=7):
     return len(failures)
 
 
+def fault_gate(overhead_limit=0.02, repeats=7):
+    """The fault layer's zero-overhead-off contract (DESIGN.md §8).
+
+    Two halves, mirroring :func:`probe_gate`:
+
+    1. **structural** — a simulator without a fault model must run the
+       pristine pre-fault stepper (no wrapper, no inline ``faults``
+       test in the hot loop), and attaching a model must gate purely
+       by swapping the stepper, leaving the step functions untouched;
+    2. **timing** — a zero-rate fault engine (the knob present but in
+       its off position) must run the fig5 mid point within
+       ``overhead_limit`` of a never-faulted simulator; its per-cycle
+       pre-phase early-outs on every sub-phase, so anything beyond the
+       wrapper call is leaked work.
+
+    Returns the number of failures (0 = gate passed).
+    """
+    from repro.noc.faults import BitErrorFaults
+
+    rate = FIG5_RATES["mid"]
+
+    def build(faults=None):
+        traffic = SyntheticTraffic(MIXED_TRAFFIC, rate, seed=7)
+        sim = Simulator(NocConfig(k=4), traffic)
+        if faults is not None:
+            sim.attach_faults(faults, seed=7)
+        return sim
+
+    failures = []
+
+    plain = build()
+    if plain.faults is not None:
+        failures.append("a default simulator carries a fault engine")
+    if plain._stepper().__func__ is not Simulator._step_gated:
+        failures.append("faults-off stepper is not the plain hot loop")
+    armed = build(BitErrorFaults(rate=0.0))
+    if getattr(armed._stepper(), "__func__", None) is Simulator._step_gated:
+        failures.append("attach_faults left the plain stepper installed")
+
+    def timed(sim):
+        sim.run(300)
+        start = time.perf_counter()
+        sim.run(2_000)
+        return 2_000 / (time.perf_counter() - start)
+
+    # same noise discipline as probe_gate: interleaved runs, and the
+    # most favorable of the per-pair and best-of-N estimates — real
+    # leaked work depresses every estimate, noise only some
+    plain_runs, armed_runs = [], []
+    for _ in range(repeats):
+        plain_runs.append(timed(build()))
+        armed_runs.append(timed(build(BitErrorFaults(rate=0.0))))
+    estimates = [a / p for p, a in zip(plain_runs, armed_runs)]
+    estimates.append(max(armed_runs) / max(plain_runs))
+    overhead = max(0.0, 1.0 - max(estimates))
+    verdict = "ok" if overhead <= overhead_limit else "REGRESSED"
+    print(
+        f"fault gate: plain={max(plain_runs):10,.0f} c/s  "
+        f"zero-rate engine={max(armed_runs):10,.0f} c/s  "
+        f"residue={overhead:.1%} (limit {overhead_limit:.0%}) {verdict}",
+        file=sys.stderr,
+    )
+    if overhead > overhead_limit:
+        failures.append(f"faults-off overhead {overhead:+.1%}")
+    for failure in failures:
+        print(f"fault gate: {failure}", file=sys.stderr)
+    return len(failures)
+
+
 def check(result, baseline, tolerance):
     """Fail (return nonzero) if any point's gated/reference speedup —
     or the o1turn point's ``vs_xy_mid`` / the on-off point's
@@ -393,10 +462,19 @@ def main(argv=None):
         help="only run the zero-overhead-off probe gate (structural "
         "attach/detach residue check plus a probes-off timing gate)",
     )
+    parser.add_argument(
+        "--fault-gate",
+        action="store_true",
+        help="only run the fault layer's zero-overhead-off gate "
+        "(structural faults-off stepper check plus a timing gate "
+        "against a zero-rate fault engine)",
+    )
     args = parser.parse_args(argv)
 
     if args.probe_gate:
         return 1 if probe_gate() else 0
+    if args.fault_gate:
+        return 1 if fault_gate() else 0
 
     baseline = budgets = None
     if args.check:

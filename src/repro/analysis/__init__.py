@@ -1,4 +1,5 @@
-"""Closed-form analysis: theoretical mesh limits and chip comparisons."""
+"""Closed-form analysis — theoretical mesh limits, chip comparisons —
+plus the simulation-backed reliability exhibit."""
 
 from repro.analysis.burstiness import (
     burstiness_timescale,
@@ -23,6 +24,11 @@ from repro.analysis.prototypes import (
     ChipPrototype,
     prototype_comparison,
 )
+from repro.analysis.reliability import (
+    reliability_figure,
+    reliability_vs_faults,
+    reliability_vs_swing,
+)
 from repro.analysis.saturation import find_saturation, saturation_throughput
 from repro.analysis.zero_load import zero_load_latency
 
@@ -42,6 +48,9 @@ __all__ = [
     "peak_rate",
     "prototype_comparison",
     "rate_cv2",
+    "reliability_figure",
+    "reliability_vs_faults",
+    "reliability_vs_swing",
     "saturation_shift",
     "saturation_throughput",
     "state_flit_rates",

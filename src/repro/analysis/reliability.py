@@ -1,0 +1,187 @@
+"""Delivered throughput under faults: the reliability exhibit.
+
+Two simulation-backed curves quantify how gracefully the network
+degrades, the system-level counterpart of the circuit-level Fig. 10
+(swing vs sense-amp failure probability):
+
+* :func:`reliability_vs_faults` kills a growing number of links
+  (:class:`~repro.noc.faults.RandomFaults`, whose single permutation
+  draw makes the fault sets *nested* — every curve point contains the
+  previous point's dead links, so delivered throughput degrades
+  monotonically by construction);
+* :func:`reliability_vs_swing` lowers the link voltage swing
+  (:class:`~repro.noc.faults.SwingFaults`), converting the paper's
+  swing -> P(fail) model into end-to-end delivered fraction under
+  error-detect + retransmit.
+
+Zero-fault points run with ``faults=None`` — byte-identical to the
+fault-free engine, sharing its cache entries (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+from repro.engine import (
+    DEFAULT_DRAIN,
+    DEFAULT_MEASURE,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+    Executor,
+    JobSpec,
+)
+from repro.noc.faults import BitErrorFaults, RandomFaults, SwingFaults
+
+#: a comfortably sub-saturation operating point for a 4x4 mesh, so the
+#: curves isolate fault loss from congestion loss
+DEFAULT_RATE = 0.10
+
+
+def _default_mix():
+    # unicast only: hard faults replace routing with spanning-tree
+    # rerouting, which cannot carry router-level multicast
+    from repro.traffic.mix import UNIFORM_UNICAST
+
+    return UNIFORM_UNICAST
+
+
+def _default_config():
+    from repro.core.presets import proposed_network
+
+    return proposed_network()
+
+
+def _row(stats, **axis):
+    row = dict(axis)
+    row.update(
+        injection_rate=stats.injection_rate,
+        delivered_fraction=stats.delivered_fraction,
+        delivered_throughput_flits_per_cycle=stats.throughput_flits_per_cycle,
+        delivered_throughput_gbps=stats.throughput_gbps,
+        avg_latency=stats.avg_latency,
+        dropped_flits=stats.dropped_flits,
+        retransmissions=stats.retransmissions,
+        stop_reason=stats.stop_reason,
+    )
+    return row
+
+
+def _run(jobs, executor):
+    if executor is None:
+        executor = Executor()
+    return executor.run(jobs)
+
+
+def reliability_vs_faults(
+    counts=(0, 1, 2, 4, 8, 12),
+    link_error_rate=0.0,
+    rate=DEFAULT_RATE,
+    mix=None,
+    config=None,
+    seed=DEFAULT_SEED,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
+    executor=None,
+):
+    """Delivered throughput and latency vs number of dead links.
+
+    ``link_error_rate`` layers a soft per-flit corruption probability
+    on the surviving links.  Returns one row dict per count.
+    """
+    jobs = []
+    for count in counts:
+        if count == 0:
+            faults = (
+                BitErrorFaults(rate=link_error_rate)
+                if link_error_rate > 0.0
+                else None
+            )
+        else:
+            faults = RandomFaults(count=count, rate=link_error_rate)
+        jobs.append(
+            JobSpec(
+                config=config if config is not None else _default_config(),
+                mix=mix if mix is not None else _default_mix(),
+                rate=rate,
+                seed=seed,
+                warmup=warmup,
+                measure=measure,
+                drain=drain,
+                name=f"faults-{count}",
+                faults=faults,
+            )
+        )
+    results = _run(jobs, executor)
+    return [
+        _row(stats, fault_count=count)
+        for count, stats in zip(counts, results)
+    ]
+
+
+def reliability_vs_swing(
+    swings_mv=(180, 220, 260, 300, 340),
+    rate=DEFAULT_RATE,
+    mix=None,
+    config=None,
+    seed=DEFAULT_SEED,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
+    executor=None,
+):
+    """Delivered throughput and latency vs link voltage swing.
+
+    Each row carries the analytic per-flit error probability of its
+    swing next to the simulated delivered fraction, so the exhibit
+    reads as "model in, behaviour out".
+    """
+    cfg = config if config is not None else _default_config()
+    the_mix = mix if mix is not None else _default_mix()
+    models = [SwingFaults(swing_mv=float(s)) for s in swings_mv]
+    jobs = [
+        JobSpec(
+            config=cfg,
+            mix=the_mix,
+            rate=rate,
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
+            name=f"swing-{s}",
+            faults=model,
+        )
+        for s, model in zip(swings_mv, models)
+    ]
+    results = _run(jobs, executor)
+    return [
+        _row(stats, swing_mv=float(s), flit_error_rate=model.error_rate(cfg))
+        for s, model, stats in zip(swings_mv, models, results)
+    ]
+
+
+def reliability_figure(
+    counts=(0, 1, 2, 4, 8, 12),
+    swings_mv=(180, 220, 260, 300, 340),
+    link_error_rate=0.0,
+    rate=DEFAULT_RATE,
+    warmup=DEFAULT_WARMUP,
+    measure=DEFAULT_MEASURE,
+    drain=DEFAULT_DRAIN,
+    seed=DEFAULT_SEED,
+    executor=None,
+):
+    """The full reliability exhibit: both degradation curves."""
+    common = dict(
+        rate=rate,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        executor=executor,
+    )
+    return {
+        "injection_rate": rate,
+        "vs_faults": reliability_vs_faults(
+            counts=counts, link_error_rate=link_error_rate, **common
+        ),
+        "vs_swing": reliability_vs_swing(swings_mv=swings_mv, **common),
+    }

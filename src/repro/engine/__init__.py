@@ -17,7 +17,9 @@ See DESIGN.md for the architecture and the determinism argument.
 
 from repro.engine.cache import CACHE_VERSION, DEFAULT_CACHE_DIR, ResultCache
 from repro.engine.executor import (
+    DEFAULT_JOB_TIMEOUT,
     Executor,
+    JobFailure,
     ProcessPoolBackend,
     SerialBackend,
     make_backend,
@@ -37,7 +39,9 @@ __all__ = [
     "DEFAULT_MEASURE",
     "DEFAULT_SEED",
     "DEFAULT_WARMUP",
+    "DEFAULT_JOB_TIMEOUT",
     "Executor",
+    "JobFailure",
     "JobSpec",
     "ProcessPoolBackend",
     "ResultCache",

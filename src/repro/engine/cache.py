@@ -5,9 +5,11 @@ of the :class:`~repro.engine.jobspec.JobSpec`'s canonical encoding, and
 stores both the job and its :class:`~repro.noc.metrics.WindowStats`.
 Re-running any benchmark, example or CLI sweep therefore skips every
 operating point that has already been computed with identical
-parameters.  Corrupt or stale entries are treated as misses and
-overwritten on the next store, so the cache can always be deleted (or
-``repro cache clear``-ed) with no loss beyond recomputation time.
+parameters.  Stale entries are treated as misses and overwritten on
+the next store; *damaged* entries (truncated or garbled JSON) are
+also misses but are first quarantined as ``<key>.corrupt`` so the bad
+bytes can be diagnosed.  The cache can always be deleted (or ``repro
+cache clear``-ed) with no loss beyond recomputation time.
 
 Key-compatibility policy: default-valued experiment axes are *omitted*
 from the canonical job encoding (``JobSpec.pattern`` when uniform,
@@ -106,7 +108,13 @@ class ResultCache:
         try:
             with open(path) as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:  # absent (or unreadable): a plain miss
+            return None
+        except ValueError:  # truncated/garbled bytes on disk
+            self._quarantine(path, "undecodable JSON")
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, "not a JSON object")
             return None
         if entry.get("version") != CACHE_VERSION:
             return None
@@ -115,7 +123,26 @@ class ResultCache:
         try:
             return WindowStats.from_dict(entry["stats"])
         except (KeyError, TypeError):
+            self._quarantine(path, "malformed stats")
             return None
+
+    def _quarantine(self, path, why):
+        """Move a damaged entry aside as ``<key>.corrupt``.
+
+        The miss then behaves like any other — the point is recomputed
+        and re-stored — but the bad bytes survive for diagnosis instead
+        of being silently overwritten, and the entry glob never serves
+        them again.
+        """
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # vanished or unwritable root: stay a miss
+            return
+        logger.warning(
+            "quarantined corrupt cache entry %s (%s) as %s",
+            path.name, why, target.name,
+        )
 
     def put(self, job, stats):
         """Store ``stats`` for ``job`` (atomically, last writer wins)."""
@@ -222,6 +249,11 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*.telemetry"))
 
+    def _quarantined(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.corrupt"))
+
     def stats(self):
         """Occupancy and counter summary (read-only).
 
@@ -237,6 +269,7 @@ class ResultCache:
             "bytes": sum(p.stat().st_size for p in entries),
             "telemetry_sidecars": len(sidecars),
             "telemetry_bytes": sum(p.stat().st_size for p in sidecars),
+            "quarantined": len(self._quarantined()),
             "session": self.counters(),
             "lifetime": self.lifetime_counters(),
         }
@@ -244,10 +277,10 @@ class ResultCache:
     def clear(self):
         """Delete every cached result; returns the number removed.
 
-        Telemetry sidecars and the persistent counters go with the
-        entries, and ``*.tmp`` files orphaned by an interrupted
-        :meth:`put` (e.g. a SIGKILL between write and rename) are swept
-        up too.
+        Telemetry sidecars, quarantined ``*.corrupt`` entries and the
+        persistent counters go with the entries, and ``*.tmp`` files
+        orphaned by an interrupted :meth:`put` (e.g. a SIGKILL between
+        write and rename) are swept up too.
         """
         removed = 0
         for path in self._entries():
@@ -257,6 +290,7 @@ class ResultCache:
             for orphan in (
                 *self.root.glob("*.tmp"),
                 *self._sidecars(),
+                *self._quarantined(),
                 *self.root.glob(COUNTERS_FILE),
             ):
                 orphan.unlink()

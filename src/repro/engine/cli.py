@@ -7,7 +7,9 @@ Five subcommands drive the experiment engine:
   results cached under ``.repro_cache/``;
 * ``repro figure`` — regenerate a paper exhibit via the drivers in
   :mod:`repro.harness.experiments` (fig5/fig13 route through the
-  engine and benefit from caching and parallelism);
+  engine and benefit from caching and parallelism), or the
+  ``reliability`` exhibit of :mod:`repro.analysis.reliability`
+  (delivered throughput vs dead links and vs voltage swing);
 * ``repro trace``  — run one operating point with event tracing and
   export the capture as Chrome trace-event JSON (``chrome://tracing``
   / Perfetto) and optionally JSONL;
@@ -46,6 +48,13 @@ from repro.engine.jobspec import (
 from repro.harness import experiments
 from repro.harness.sweep import default_rates, run_sweep
 from repro.harness.tables import format_series
+from repro.noc.faults import (
+    BitErrorFaults,
+    LinkFaults,
+    RandomFaults,
+    SwingFaults,
+    fault_names,
+)
 from repro.noc.routing import make_routing, routing_names
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.patterns import HotspotPattern, make_pattern, pattern_names
@@ -232,6 +241,161 @@ def _make_injection(args):
                 f"not {args.injection!r}"
             )
     return None
+
+
+def _parse_fault_links(text):
+    """``"1-2@500,3-7"`` -> ``((1, 2, 500), (3, 7, 0))``."""
+    links = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pair, _, cycle = part.partition("@")
+        try:
+            a, _, b = pair.partition("-")
+            links.append((int(a), int(b), int(cycle) if cycle else 0))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"fault links are A-B[@CYCLE] terms, got {part!r}"
+            ) from None
+    if not links:
+        raise argparse.ArgumentTypeError("at least one fault link is required")
+    return tuple(links)
+
+
+def _parse_fault_routers(text):
+    """``"5@400,12"`` -> ``((5, 400), (12, 0))``."""
+    routers = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        node, _, cycle = part.partition("@")
+        try:
+            routers.append((int(node), int(cycle) if cycle else 0))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"fault routers are N[@CYCLE] terms, got {part!r}"
+            ) from None
+    if not routers:
+        raise argparse.ArgumentTypeError(
+            "at least one fault router is required"
+        )
+    return tuple(routers)
+
+
+def _add_fault_args(parser):
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--faults",
+        choices=("none",) + tuple(fault_names()),
+        default="none",
+        help="fault model (default: none, the fault-free fast path)",
+    )
+    group.add_argument(
+        "--link-error-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-flit corruption probability on each live link "
+        "(biterror/links/random models)",
+    )
+    group.add_argument(
+        "--fault-swing",
+        type=float,
+        default=None,
+        metavar="MV",
+        help="link voltage swing in mV; the error rate follows the "
+        "Fig. 10 swing -> P(fail) model (requires --faults swing)",
+    )
+    group.add_argument(
+        "--fault-links",
+        type=_parse_fault_links,
+        default=None,
+        metavar="A-B@C,...",
+        help="links to kill, as node pairs with optional death cycles "
+        "(requires --faults links)",
+    )
+    group.add_argument(
+        "--fault-routers",
+        type=_parse_fault_routers,
+        default=None,
+        metavar="N@C,...",
+        help="routers to kill, with optional death cycles "
+        "(requires --faults links)",
+    )
+    group.add_argument(
+        "--fault-count",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="how many random links to kill (requires --faults random)",
+    )
+    group.add_argument(
+        "--fault-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="death cycle of the random links (requires --faults random)",
+    )
+
+
+def _make_faults(args):
+    """The FaultModel selected by the CLI flags (None = fault free, so
+    fault-free cache keys stay byte-identical)."""
+    name = args.faults
+    flags = {
+        "--link-error-rate": args.link_error_rate,
+        "--fault-swing": args.fault_swing,
+        "--fault-links": args.fault_links,
+        "--fault-routers": args.fault_routers,
+        "--fault-count": args.fault_count,
+        "--fault-at": args.fault_at,
+    }
+    applies = {
+        "none": (),
+        "biterror": ("--link-error-rate",),
+        "swing": ("--fault-swing",),
+        "links": ("--link-error-rate", "--fault-links", "--fault-routers"),
+        "random": ("--link-error-rate", "--fault-count", "--fault-at"),
+    }[name]
+    for flag, value in flags.items():
+        if value is not None and flag not in applies:
+            raise ValueError(
+                f"{flag} does not apply to --faults {name}"
+                if name != "none"
+                else f"{flag} requires a fault model (--faults)"
+            )
+    if name == "none":
+        return None
+    if name == "biterror":
+        kwargs = {}
+        if args.link_error_rate is not None:
+            kwargs["rate"] = args.link_error_rate
+        return BitErrorFaults(**kwargs)
+    if name == "swing":
+        kwargs = {}
+        if args.fault_swing is not None:
+            kwargs["swing_mv"] = args.fault_swing
+        return SwingFaults(**kwargs)
+    if name == "links":
+        if args.fault_links is None and args.fault_routers is None:
+            raise ValueError(
+                "--faults links needs --fault-links and/or --fault-routers"
+            )
+        return LinkFaults(
+            links=args.fault_links or (),
+            routers=args.fault_routers or (),
+            rate=args.link_error_rate or 0.0,
+        )
+    kwargs = {}
+    if args.fault_count is not None:
+        kwargs["count"] = args.fault_count
+    if args.fault_at is not None:
+        kwargs["at"] = args.fault_at
+    if args.link_error_rate is not None:
+        kwargs["rate"] = args.link_error_rate
+    return RandomFaults(**kwargs)
 
 
 def _add_routing_args(parser):
@@ -421,6 +585,7 @@ def cmd_sweep(args):
     mix = MIXES[args.mix]
     pattern = _make_traffic_pattern(args)
     injection = _make_injection(args)
+    faults = _make_faults(args)
     rates = args.rates or default_rates(
         mix,
         config.num_nodes,
@@ -443,18 +608,94 @@ def cmd_sweep(args):
         drain=args.drain,
         pattern=pattern,
         injection=injection,
+        faults=faults,
     )
     _print_sweep(
         {args.config: points},
         f"{args.config} / {mix.name} / {args.pattern} / {args.routing} / "
-        f"{args.injection} latency-throughput sweep",
+        f"{args.injection} / {args.faults} latency-throughput sweep",
     )
+    if faults is not None:
+        print()
+        print("reliability (per rate):")
+        for p in points:
+            print(
+                f"  R={p.injection_rate:<6g} delivered={p.delivered_fraction:6.1%} "
+                f"dropped={p.dropped_flits} retransmissions={p.retransmissions} "
+                f"stop={p.stop_reason}"
+            )
     _log_engine_summary(executor)
     return 0
 
 
+def _print_reliability(result):
+    print(f"reliability (injection rate {result['injection_rate']:g})")
+    print()
+    print("delivered throughput vs dead links:")
+    print("  faults  delivered   Gb/s    latency  dropped  retx  stop")
+    for r in result["vs_faults"]:
+        print(
+            f"  {r['fault_count']:>6d}  {r['delivered_fraction']:8.1%}  "
+            f"{r['delivered_throughput_gbps']:7.1f}  {r['avg_latency']:7.2f}  "
+            f"{r['dropped_flits']:>7d}  {r['retransmissions']:>4d}  "
+            f"{r['stop_reason']}"
+        )
+    print()
+    print("delivered throughput vs link voltage swing:")
+    print("  swing_mv  P(flit err)  delivered   Gb/s    latency  retx")
+    for r in result["vs_swing"]:
+        print(
+            f"  {r['swing_mv']:>8g}  {r['flit_error_rate']:11.3e}  "
+            f"{r['delivered_fraction']:8.1%}  "
+            f"{r['delivered_throughput_gbps']:7.1f}  {r['avg_latency']:7.2f}  "
+            f"{r['retransmissions']:>4d}"
+        )
+
+
 def cmd_figure(args):
+    if args.name == "reliability":
+        from repro.analysis.reliability import reliability_figure
+
+        executor = _make_executor(args)
+        if (
+            args.faults != "none"
+            or args.pattern != "uniform"
+            or args.routing != "xy"
+            or args.injection != "bernoulli"
+        ):
+            logger.warning(
+                "the reliability figure fixes its own fault models and "
+                "uniform-XY-Bernoulli workload; --faults/--pattern/"
+                "--routing/--injection are ignored (use --fault-counts/"
+                "--fault-swings/--link-error-rate to shape the grids)"
+            )
+        kwargs = dict(seed=args.seed, executor=executor)
+        if args.fault_counts is not None:
+            kwargs["counts"] = args.fault_counts
+        if args.fault_swings is not None:
+            kwargs["swings_mv"] = args.fault_swings
+        if args.link_error_rate is not None:
+            kwargs["link_error_rate"] = args.link_error_rate
+        if args.rates is not None:
+            if len(args.rates) != 1:
+                raise ValueError(
+                    "the reliability figure runs its fault grids at one "
+                    "injection rate; pass a single value to --rates"
+                )
+            kwargs["rate"] = args.rates[0]
+        for attr in ("warmup", "measure", "drain"):
+            if getattr(args, attr) is not None:
+                kwargs[attr] = getattr(args, attr)
+        result = reliability_figure(**kwargs)
+        _print_reliability(result)
+        _log_engine_summary(executor)
+        return 0
     if args.name in SWEEP_FIGURES:
+        if _make_faults(args) is not None:
+            raise ValueError(
+                "fault injection applies to 'repro sweep' and the "
+                "reliability figure, not fig5/fig13"
+            )
         executor = _make_executor(args)
         kwargs = dict(
             seed=args.seed,
@@ -501,12 +742,21 @@ def cmd_figure(args):
             or args.on_rate is not None
             or args.mmp_levels is not None
             or args.mmp_dwells is not None
+            or args.faults != "none"
+            or args.link_error_rate is not None
+            or args.fault_swing is not None
+            or args.fault_links is not None
+            or args.fault_routers is not None
+            or args.fault_count is not None
+            or args.fault_at is not None
+            or args.fault_counts is not None
+            or args.fault_swings is not None
         )
         if engine_flags or window_flags:
             logger.warning(
                 "engine and measurement-window options only apply to %s; "
                 "ignored for %s",
-                "/".join(sorted(SWEEP_FIGURES)),
+                "/".join(sorted(SWEEP_FIGURES) + ["reliability"]),
                 args.name,
             )
         result = PLAIN_FIGURES[args.name]()
@@ -526,6 +776,8 @@ def cmd_cache(args):
             f"{info['telemetry_sidecars']} telemetry sidecar(s), "
             f"{info['telemetry_bytes']} bytes"
         )
+        if info["quarantined"]:
+            print(f"{info['quarantined']} quarantined corrupt entr(y/ies)")
         life = info["lifetime"]
         print(
             f"lifetime counters: {life['hits']} hit(s), "
@@ -715,6 +967,7 @@ def build_parser():
     _add_pattern_args(sweep)
     _add_routing_args(sweep)
     _add_injection_args(sweep)
+    _add_fault_args(sweep)
     _add_cycle_args(sweep, defaults=True)
     _add_engine_args(sweep)
     _add_verbosity_args(sweep)
@@ -724,18 +977,37 @@ def build_parser():
         "figure", help="regenerate one table or figure of the paper"
     )
     figure.add_argument(
-        "name", choices=sorted(SWEEP_FIGURES) + sorted(PLAIN_FIGURES)
+        "name",
+        choices=sorted(SWEEP_FIGURES) + ["reliability"] + sorted(PLAIN_FIGURES),
     )
     figure.add_argument(
         "--rates",
         type=_parse_rates,
         default=None,
         metavar="R1,R2,...",
-        help="override the sweep grid (fig5/fig13 only)",
+        help="override the sweep grid (fig5/fig13; a single rate for "
+        "reliability)",
+    )
+    figure.add_argument(
+        "--fault-counts",
+        type=lambda t: tuple(int(v) for v in _parse_floats(t, "count")),
+        default=None,
+        metavar="N1,N2,...",
+        help="dead-link grid of the reliability figure "
+        "(default: 0,1,2,4,8,12)",
+    )
+    figure.add_argument(
+        "--fault-swings",
+        type=_parse_floats,
+        default=None,
+        metavar="MV1,MV2,...",
+        help="voltage-swing grid of the reliability figure in mV "
+        "(default: 180,220,260,300,340)",
     )
     _add_pattern_args(figure)
     _add_routing_args(figure)
     _add_injection_args(figure)
+    _add_fault_args(figure)
     _add_cycle_args(figure, defaults=False)
     _add_engine_args(figure)
     _add_verbosity_args(figure)

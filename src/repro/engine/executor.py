@@ -23,12 +23,31 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+from dataclasses import dataclass
 from time import perf_counter
 
 from repro.engine.jobspec import JobSpec
 from repro.noc.metrics import WindowStats
 
 logger = logging.getLogger(__name__)
+
+#: default per-job wall-clock budget of the process backend, generous
+#: enough for any paper-methodology point on a slow machine
+DEFAULT_JOB_TIMEOUT = 600.0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job the backend could not complete (crash or timeout).
+
+    Returned by backends in place of WindowStats after the retry
+    budget is spent; the :class:`Executor` converts it into a
+    ``stop_reason="failed"`` stats record so a sweep survives a sick
+    worker instead of raising out of the whole batch.
+    """
+
+    error: str
+    attempts: int
 
 
 class SerialBackend:
@@ -67,38 +86,118 @@ def _run_payload_profiled(payload):
 
 
 class ProcessPoolBackend:
-    """Fan jobs out over a ``multiprocessing`` pool of workers."""
+    """Fan jobs out over a ``multiprocessing`` pool of workers.
+
+    Worker failures are contained, not propagated: a job whose worker
+    raises, dies, or exceeds ``timeout`` seconds is retried once (by
+    default) in a *fresh* pool — the old pool is terminated, which also
+    reaps hung workers — and a job that fails its last attempt comes
+    back as a :class:`JobFailure` instead of an exception, so the rest
+    of the batch is unaffected.  ``retried`` holds the number of jobs
+    of the most recent batch that needed more than one attempt.
+    """
 
     name = "process"
 
-    def __init__(self, workers=None):
+    def __init__(self, workers=None, timeout=DEFAULT_JOB_TIMEOUT, retries=1):
         if workers is not None and workers < 1:
             raise ValueError("worker count must be at least one")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("job timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retry count must be non-negative")
         self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        #: jobs of the last batch that needed more than one attempt
+        self.retried = 0
 
-    def _pool_size(self, jobs):
-        return min(self.workers or os.cpu_count() or 1, len(jobs))
+    def _pool_size(self, n):
+        return min(self.workers or os.cpu_count() or 1, n)
+
+    def _map(self, fn, payloads):
+        """Apply ``fn`` to every payload with timeout + retry.
+
+        Returns ``(outcomes, attempts)``: per payload either
+        ``("ok", value)`` or ``("err", message)``, plus the attempt
+        count.  Uses ``apply_async`` (not ``map``) so one sick payload
+        fails alone instead of poisoning its whole chunk.
+        """
+        outcomes = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        todo = list(range(len(payloads)))
+        for round_no in range(1 + self.retries):
+            if not todo:
+                break
+            if round_no:
+                logger.warning(
+                    "retrying %d failed job(s) in a fresh pool", len(todo)
+                )
+            failed = []
+            pool = multiprocessing.Pool(processes=self._pool_size(len(todo)))
+            try:
+                handles = [
+                    (i, pool.apply_async(fn, (payloads[i],))) for i in todo
+                ]
+                for i, handle in handles:
+                    attempts[i] += 1
+                    try:
+                        outcomes[i] = ("ok", handle.get(self.timeout))
+                    except multiprocessing.TimeoutError:
+                        outcomes[i] = (
+                            "err",
+                            f"timed out after {self.timeout:g}s",
+                        )
+                        failed.append(i)
+                    except Exception as exc:
+                        outcomes[i] = ("err", f"{type(exc).__name__}: {exc}")
+                        failed.append(i)
+            finally:
+                # terminate (not close): reaps workers hung past their
+                # timeout, so a fresh retry pool starts clean
+                pool.terminate()
+                pool.join()
+            todo = failed
+        self.retried = sum(1 for n in attempts if n > 1)
+        return outcomes, attempts
 
     def run(self, jobs):
-        workers = self._pool_size(jobs)
-        if workers <= 1:
-            return SerialBackend().run(jobs)
-        payloads = [job.to_dict() for job in jobs]
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_run_payload, payloads, chunksize=1)
-        return [WindowStats.from_dict(d) for d in results]
+        jobs = list(jobs)
+        outcomes, attempts = self._map(
+            _run_payload, [job.to_dict() for job in jobs]
+        )
+        return [
+            WindowStats.from_dict(value)
+            if kind == "ok"
+            else JobFailure(error=value, attempts=attempts[i])
+            for i, (kind, value) in enumerate(outcomes)
+        ]
 
     def run_profiled(self, jobs):
-        """Like :meth:`run`, returning ``(stats, telemetry)`` pairs."""
-        workers = self._pool_size(jobs)
-        if workers <= 1:
-            return SerialBackend().run_profiled(jobs)
-        payloads = [job.to_dict() for job in jobs]
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_run_payload_profiled, payloads, chunksize=1)
-        return [
-            (WindowStats.from_dict(d), telemetry) for d, telemetry in results
-        ]
+        """Like :meth:`run`, returning ``(stats, telemetry)`` pairs.
+
+        Retries surface in the telemetry (an ``attempts`` key appears
+        whenever a job needed more than one), so cache sidecars record
+        which points had a flaky first run.
+        """
+        jobs = list(jobs)
+        outcomes, attempts = self._map(
+            _run_payload_profiled, [job.to_dict() for job in jobs]
+        )
+        out = []
+        for i, (kind, value) in enumerate(outcomes):
+            if kind != "ok":
+                failure = JobFailure(error=value, attempts=attempts[i])
+                out.append(
+                    (failure, {"failure": value, "attempts": attempts[i]})
+                )
+                continue
+            stats_dict, telemetry = value
+            telemetry = dict(telemetry)
+            if attempts[i] > 1:
+                telemetry["attempts"] = attempts[i]
+            out.append((WindowStats.from_dict(stats_dict), telemetry))
+        return out
 
 
 _BACKENDS = {
@@ -107,7 +206,7 @@ _BACKENDS = {
 }
 
 
-def make_backend(name, workers=None):
+def make_backend(name, workers=None, timeout=DEFAULT_JOB_TIMEOUT, retries=1):
     """Instantiate a backend by name ('serial' or 'process')."""
     try:
         backend_cls = _BACKENDS[name]
@@ -116,13 +215,34 @@ def make_backend(name, workers=None):
             f"unknown backend {name!r}; choose from {sorted(_BACKENDS)}"
         ) from None
     if backend_cls is ProcessPoolBackend:
-        return backend_cls(workers=workers)
+        return backend_cls(workers=workers, timeout=timeout, retries=retries)
     if workers is not None:
         raise ValueError(
             f"a worker count only applies to the process backend, "
             f"not {name!r}"
         )
     return backend_cls()
+
+
+def _failure_stats(job, failure):
+    """The ``stop_reason="failed"`` record standing in for a job the
+    backend gave up on: NaN metrics, never cached."""
+    nan = float("nan")
+    return WindowStats(
+        config_name=job.name,
+        injection_rate=job.rate,
+        cycles=0,
+        messages_measured=0,
+        avg_latency=nan,
+        avg_latency_by_kind={},
+        received_flits=0,
+        throughput_flits_per_cycle=nan,
+        throughput_gbps=nan,
+        bypass_fraction=nan,
+        incomplete_messages=0,
+        stop_reason="failed",
+        delivered_fraction=nan,
+    )
 
 
 class Executor:
@@ -184,7 +304,26 @@ class Executor:
                 f"returned {len(fresh)} results for {len(pending)} jobs"
             )
         self.executed += len(pending)
+        failures = []
         for n, (i, job, stats) in enumerate(zip(pending_at, pending, fresh)):
+            if isinstance(stats, JobFailure):
+                # structured failure record, not an unhandled exception:
+                # the rest of the sweep stands, nothing gets cached
+                failures.append(
+                    {
+                        "job": job.name or job.cache_key[:12],
+                        "rate": job.rate,
+                        "error": stats.error,
+                        "attempts": stats.attempts,
+                    }
+                )
+                logger.warning(
+                    "job %s (rate %g) failed after %d attempt(s): %s",
+                    job.name or job.cache_key[:12], job.rate,
+                    stats.attempts, stats.error,
+                )
+                results[i] = _failure_stats(job, stats)
+                continue
             if self.cache is not None:
                 self.cache.put(job, stats)
                 if telemetries is not None:
@@ -199,6 +338,8 @@ class Executor:
             "executed": len(pending),
             "backend": getattr(self.backend, "name", str(self.backend)),
             "wall_seconds": wall,
+            "failures": failures,
+            "retried": getattr(self.backend, "retried", 0),
         }
         logger.debug(
             "batch of %d jobs: %d cached, %d executed on %s in %.2fs",

@@ -52,6 +52,10 @@ class JobSpec:
     #: default (and an explicitly-passed BernoulliProcess is normalised
     #: to None, so equal jobs stay equal)
     injection: object = None
+    #: fault model (a :class:`repro.noc.faults.FaultModel` value);
+    #: ``None`` means fault free and is omitted from the encoding, so
+    #: pre-fault cache keys stay valid byte for byte
+    faults: object = None
 
     @property
     def routing(self):
@@ -77,6 +81,8 @@ class JobSpec:
             object.__setattr__(self, "injection", None)
         if self.injection is not None:
             self.injection.validate(self.rate)
+        if self.faults is not None:
+            self.faults.validate(self.config)
 
     # ------------------------------------------------------------ identity
 
@@ -103,12 +109,19 @@ class JobSpec:
             data["pattern"] = self.pattern.to_dict()
         if self.injection is not None:
             data["injection"] = self.injection.to_dict()
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data):
+        # lazy import: repro.noc.faults pulls in the recovery stack,
+        # which fault-free engine paths never need
+        from repro.noc.faults import fault_from_dict
+
         pattern = data.get("pattern")
         injection = data.get("injection")
+        faults = data.get("faults")
         return cls(
             config=NocConfig.from_dict(data["config"]),
             mix=TrafficMix.from_dict(data["mix"]),
@@ -123,6 +136,7 @@ class JobSpec:
             injection=(
                 process_from_dict(injection) if injection is not None else None
             ),
+            faults=fault_from_dict(faults) if faults is not None else None,
         )
 
     def canonical_json(self):
@@ -147,7 +161,13 @@ class JobSpec:
             pattern=self.pattern,
             process=self.injection,
         )
-        return Simulator(self.config, traffic, name=self.name)
+        sim = Simulator(self.config, name=self.name)
+        if self.faults is not None:
+            # before the traffic: a hard model swaps the routing
+            # runtime, which attach_traffic then validates against
+            sim.attach_faults(self.faults, seed=self.seed)
+        sim.attach_traffic(traffic)
+        return sim
 
     def run(self):
         """Simulate this point on a fresh network; returns WindowStats."""

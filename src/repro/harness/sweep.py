@@ -33,6 +33,7 @@ def run_point(
     name="",
     pattern=None,
     injection=None,
+    faults=None,
 ):
     """Simulate one operating point; returns WindowStats."""
     return JobSpec(
@@ -47,6 +48,7 @@ def run_point(
         name=name,
         pattern=pattern,
         injection=injection,
+        faults=faults,
     ).run()
 
 

@@ -46,6 +46,10 @@ class Message:
     #: (destination, packet) pairs still outstanding.
     _pending: set = field(default_factory=set, repr=False)
     completion_cycle: int | None = None
+    #: set by the fault engine when the message exhausted its retry
+    #: budget or a destination became unreachable; a failed message
+    #: never completes (see repro.noc.faults)
+    failed: bool = False
 
     def register_packet(self, packet):
         for dest in packet.destinations:
@@ -54,7 +58,7 @@ class Message:
     def record_delivery(self, dest, packet, cycle):
         """Record the tail-flit ejection of ``packet`` at ``dest``."""
         self._pending.discard((dest, packet.pid))
-        if not self._pending and self.completion_cycle is None:
+        if not self._pending and self.completion_cycle is None and not self.failed:
             self.completion_cycle = cycle
 
     @property
@@ -150,6 +154,10 @@ class Flit:
     #: VC partition the flit allocates from at its next hop.
     rheader: object = None
     phase: int = 0
+    #: error-detect flag (repro.noc.faults): a corrupted flit keeps
+    #: travelling its route — releasing VC allocations hop by hop —
+    #: and is discarded at the receiving input VC of the NIC
+    corrupt: bool = False
     #: Per-hop pipeline bookkeeping, reset on every arrival:
     #: ``route`` is the output-port partition of ``destinations`` at the
     #: current router; ``stage`` is None (awaiting mSA-I), "S2" (holds the
@@ -181,6 +189,7 @@ class Flit:
             bypassed_hops=self.bypassed_hops,
             rheader=self.rheader,
             phase=self.phase,
+            corrupt=self.corrupt,
         )
 
     def __repr__(self):  # keep traces short

@@ -91,9 +91,19 @@ class WindowStats:
     bypass_fraction: float
     incomplete_messages: int
     #: why the experiment ended: ``completed`` (normal), ``watchdog``
-    #: (the no-progress watchdog tripped mid-run) or ``max-cycles``
-    #: (the drain cap expired with work still in flight)
+    #: (the no-progress watchdog tripped mid-run), ``max-cycles``
+    #: (the drain cap expired with work still in flight),
+    #: ``partitioned`` (hard faults cut off a destination) or
+    #: ``failed`` (the execution backend gave up on the job — a
+    #: crashed or hung worker; see :class:`repro.engine.JobFailure`)
     stop_reason: str = "completed"
+    #: fraction of window messages that completed (NaN with no
+    #: messages); below one only under faults or saturation
+    delivered_fraction: float = float("nan")
+    #: flits discarded by the fault engine during the window
+    dropped_flits: int = 0
+    #: packets re-injected by the recovery stack during the window
+    retransmissions: int = 0
 
     @property
     def saturated_heuristic(self):
@@ -119,19 +129,35 @@ class WindowStats:
             "bypass_fraction": self.bypass_fraction,
             "incomplete_messages": self.incomplete_messages,
             "stop_reason": self.stop_reason,
+            "delivered_fraction": self.delivered_fraction,
+            "dropped_flits": self.dropped_flits,
+            "retransmissions": self.retransmissions,
         }
 
     @classmethod
     def from_dict(cls, data):
-        # ``stop_reason`` postdates the on-disk cache format; entries
-        # written before it exist are complete runs by construction
-        # (a watchdog abort never reached the cache)
+        # ``stop_reason`` and the reliability fields postdate the
+        # on-disk cache format; entries written before they exist are
+        # fault-free runs by construction, so the dataclass defaults
+        # apply — except ``delivered_fraction``, which is recomputable
+        # from the completed/incomplete split such entries do carry.
+        defaulted = {
+            "stop_reason": "completed",
+            "delivered_fraction": None,
+            "dropped_flits": 0,
+            "retransmissions": 0,
+        }
         kwargs = {
-            f.name: data.get("stop_reason", "completed")
-            if f.name == "stop_reason"
+            f.name: data.get(f.name, defaulted[f.name])
+            if f.name in defaulted
             else data[f.name]
             for f in fields(cls)
         }
+        if "delivered_fraction" not in data:
+            total = data["messages_measured"] + data["incomplete_messages"]
+            kwargs["delivered_fraction"] = (
+                data["messages_measured"] / total if total else None
+            )
         # the result cache stores non-finite floats as null (strict
         # JSON has no NaN token); restore them on the way back in
         for name in (
@@ -140,6 +166,7 @@ class WindowStats:
             "throughput_flits_per_cycle",
             "throughput_gbps",
             "bypass_fraction",
+            "delivered_fraction",
         ):
             if kwargs[name] is None:
                 kwargs[name] = float("nan")
@@ -165,6 +192,8 @@ def summarize_window(
     bypasses,
     xbar_inputs,
     stop_reason="completed",
+    dropped_flits=0,
+    retransmissions=0,
 ):
     """Build :class:`WindowStats` from raw window data."""
     completed = [m for m in messages if m.complete]
@@ -189,4 +218,9 @@ def summarize_window(
         bypass_fraction=(bypasses / xbar_inputs) if xbar_inputs else 0.0,
         incomplete_messages=len(messages) - len(completed),
         stop_reason=stop_reason,
+        delivered_fraction=(
+            len(completed) / len(messages) if messages else float("nan")
+        ),
+        dropped_flits=dropped_flits,
+        retransmissions=retransmissions,
     )

@@ -69,6 +69,12 @@ class Simulator:
         #: variants while this is set, so an unobserved run pays
         #: nothing for the observability layer (DESIGN.md §7).
         self.obs = None
+        #: attached :class:`repro.noc.faults.FaultState` (``None`` when
+        #: fault free).  Like the observer, the plain step functions
+        #: carry no fault hooks; :meth:`_stepper` wraps the chosen step
+        #: variant with the fault engine's pre-cycle phase only while
+        #: this is set, so a fault-free run pays nothing (DESIGN.md §8).
+        self.faults = None
         #: gating effectiveness counters (diagnostics and tests):
         #: router-phase executions and NIC step/receive executions.
         self.router_cycles_executed = 0
@@ -100,10 +106,41 @@ class Simulator:
                 f"multicast traffic (multicast trees are XY-only); use "
                 f"xy routing or a multicast=False config"
             )
+        if (
+            mix is not None
+            and self.cfg.multicast
+            and self.faults is not None
+            and self.faults.hard
+            and any(c.broadcast for c in mix.components)
+        ):
+            raise ValueError(
+                "hard fault models replace routing with spanning-tree "
+                "rerouting, which cannot carry router-level multicast "
+                "traffic; use a unicast mix or a soft fault model"
+            )
         self.network.seed_routing(getattr(traffic, "seed", None))
         traffic.bind(self.cfg)
         for nic in self.network.nics:
             nic.source = traffic
+
+    def attach_faults(self, model, seed=None):
+        """Install a fault engine built from ``model`` (DESIGN.md §8).
+
+        Must happen before the first cycle: a hard model swaps the
+        network's routing runtime for fault-aware spanning-tree
+        rerouting, which packets already in flight would not survive.
+        ``seed`` (normally the traffic seed) keys the private PRBS
+        fault streams so a JobSpec's result stays a pure function of
+        its fields.
+        """
+        if self.faults is not None:
+            raise RuntimeError("simulator already has a fault model attached")
+        if self.cycle != 0:
+            raise RuntimeError("faults must be attached before the first cycle")
+        from repro.noc.faults import FaultState
+
+        self.faults = FaultState(model, self, seed)
+        return self.faults
 
     # ------------------------------------------------------------------
     # cycle loop
@@ -123,12 +160,22 @@ class Simulator:
         variants against drifting apart.
         """
         if self.obs is None:
-            return self._step_gated if self.gated else self._step_reference
-        return (
-            self._step_gated_observed
-            if self.gated
-            else self._step_reference_observed
-        )
+            step = self._step_gated if self.gated else self._step_reference
+        else:
+            step = (
+                self._step_gated_observed
+                if self.gated
+                else self._step_reference_observed
+            )
+        faults = self.faults
+        if faults is None:
+            return step
+
+        def fault_step(step=step, faults=faults, sim=self):
+            faults.pre_cycle(sim.cycle)
+            step()
+
+        return fault_step
 
     def _step_gated(self):
         """Activity-gated step: iterate only the active sets.
@@ -356,6 +403,7 @@ class Simulator:
         stalled run are still useful for diagnosing *where* it stuck).
         """
         net = self.network
+        faults = self.faults
         stop_reason = "completed"
         try:
             self.run(warmup)
@@ -364,18 +412,35 @@ class Simulator:
         start_msgs = len(net.messages)
         start_activity = aggregate(net.router_stats).snapshot()
         start_nic = aggregate(net.nic_stats).snapshot()
+        if faults is not None:
+            start_dropped = faults.dropped_flits
+            start_retx = faults.retransmissions
         if stop_reason == "completed":
             try:
                 self.run(measure)
             except SimulationStalled:
                 stop_reason = "watchdog"
         end_nic = aggregate(net.nic_stats)
+        window_dropped = window_retx = 0
+        if faults is not None:
+            # mirror the NIC-counter timing: window deltas are taken
+            # right after the measurement window, before the drain
+            window_dropped = faults.dropped_flits - start_dropped
+            window_retx = faults.retransmissions - start_retx
         window_msgs = net.messages[start_msgs : len(net.messages)]
         # stop generating traffic, then drain
         sources = [nic.source for nic in net.nics]
         for nic in net.nics:
             nic.source = None
         quiet = net.quiescent if self.gated else net.idle
+        if faults is not None:
+            base_quiet = quiet
+
+            def quiet(base_quiet=base_quiet, faults=faults):
+                # pending NACKs/backoffs keep the drain alive even
+                # while the network itself is momentarily idle
+                return base_quiet() and not faults.busy()
+
         step = self._stepper()
         drained = 0
         if stop_reason == "completed":
@@ -390,6 +455,12 @@ class Simulator:
                     stop_reason = "max-cycles"
         for nic, source in zip(net.nics, sources):
             nic.source = source
+        if (
+            faults is not None
+            and faults.partitioned
+            and stop_reason in ("completed", "max-cycles")
+        ):
+            stop_reason = "partitioned"
         end_activity = aggregate(net.router_stats)
         delta = end_activity - start_activity
         ejected = end_nic.ejected_flits - start_nic.ejected_flits
@@ -404,6 +475,8 @@ class Simulator:
             delta.bypasses,
             delta.xbar_input_traversals,
             stop_reason=stop_reason,
+            dropped_flits=window_dropped,
+            retransmissions=window_retx,
         )
 
     def activity(self):

@@ -206,6 +206,26 @@ class Observer:
     def on_eject(self, cycle, node, flit):
         self.tracer.record(cycle, "eject", node, flit.pid, flit.seq, flit.vc)
 
+    # Fault-engine probe sites (repro.noc.faults).  Unlike the router
+    # and NIC sites — whose callers hold a per-component probe slot —
+    # these are reached through ``sim.obs`` and may fire while only a
+    # sampler or profiler is attached, so they guard the tracer
+    # themselves.
+
+    def on_drop(self, cycle, node, flit, reason):
+        if self.tracer is not None:
+            self.tracer.record(
+                cycle, "drop", node, flit.pid, flit.seq, flit.vc, reason
+            )
+
+    def on_retransmit(self, cycle, node, pid, mid):
+        if self.tracer is not None:
+            self.tracer.record(cycle, "retransmit", node, pid, None, None, mid)
+
+    def on_fault(self, cycle, node, detail):
+        if self.tracer is not None:
+            self.tracer.record(cycle, "fault", node, None, None, None, detail)
+
     def on_link(self, channel, cycle, flit):
         cid = channel.cid
         if self.tracer is not None:

@@ -35,6 +35,9 @@ EVENT_KINDS = (
     "buf_read",   # flit popped from an input-VC buffer
     "wake",       # router entered the gated loop's active set
     "sleep",      # router left the active set
+    "drop",       # fault engine discarded a flit (repro.noc.faults)
+    "retransmit", # recovery stack re-injected a packet
+    "fault",      # a scheduled hard fault fired (link/router death)
 )
 
 #: What the ``extra`` slot of each record holds.
@@ -49,6 +52,9 @@ EXTRA_FIELD = {
     "buf_read": "occupancy",   # buffer depth after the read
     "wake": None,
     "sleep": None,
+    "drop": "reason",      # unreachable/corrupt/dead-link/squash/eject/...
+    "retransmit": "mid",   # message whose packet was re-injected
+    "fault": "detail",     # "link-dead:a-b" or "router-dead"
 }
 
 DEFAULT_CAPACITY = 65_536

@@ -36,19 +36,48 @@ def test_put_then_get_round_trips(tmp_path):
     assert cache.get(make_job(rate=0.05)) is None
 
 
-def test_corrupt_entry_is_a_miss(tmp_path):
+def test_corrupt_entry_is_a_miss_and_quarantined(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     job = make_job()
     cache.put(job, job.run())
     cache.path_for(job).write_text("{ not json")
     assert cache.get(job) is None
+    # the bad bytes survive for diagnosis instead of being overwritten
+    corrupt = cache.path_for(job).with_suffix(".corrupt")
+    assert corrupt.read_text() == "{ not json"
+    assert not cache.path_for(job).exists()
+    assert cache.stats()["quarantined"] == 1
     # and put() repairs it
     stats = job.run()
     cache.put(job, stats)
     assert cache.get(job) == stats
 
 
-def test_version_mismatch_is_a_miss(tmp_path):
+def test_truncated_entry_is_quarantined(tmp_path):
+    # simulate a partially written / torn entry (e.g. a full disk)
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    text = cache.path_for(job).read_text()
+    cache.path_for(job).write_text(text[: len(text) // 2])
+    assert cache.get(job) is None
+    assert cache.path_for(job).with_suffix(".corrupt").exists()
+
+
+def test_malformed_stats_are_quarantined(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    entry = json.loads(cache.path_for(job).read_text())
+    entry["stats"] = {"bogus": True}
+    cache.path_for(job).write_text(json.dumps(entry))
+    assert cache.get(job) is None
+    assert cache.stats()["quarantined"] == 1
+
+
+def test_version_mismatch_is_a_plain_miss(tmp_path):
+    # a future-format entry is valid JSON from another era, not damage:
+    # it must not be quarantined (a downgrade would destroy it)
     cache = ResultCache(tmp_path / "cache")
     job = make_job()
     cache.put(job, job.run())
@@ -56,6 +85,8 @@ def test_version_mismatch_is_a_miss(tmp_path):
     entry["version"] = CACHE_VERSION + 1
     cache.path_for(job).write_text(json.dumps(entry))
     assert cache.get(job) is None
+    assert cache.stats()["quarantined"] == 0
+    assert cache.path_for(job).exists()
 
 
 def test_job_mismatch_is_a_miss(tmp_path):
@@ -115,3 +146,15 @@ def test_stats_and_clear(tmp_path):
     assert cache.clear() == 2
     assert cache.stats()["entries"] == 0
     assert all(cache.get(j) is None for j in jobs)
+
+
+def test_clear_sweeps_quarantined_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = make_job()
+    cache.put(job, job.run())
+    cache.path_for(job).write_text("garbage")
+    assert cache.get(job) is None  # quarantines
+    assert cache.stats()["quarantined"] == 1
+    assert cache.clear() == 0  # no live entries left
+    assert cache.stats()["quarantined"] == 0
+    assert list(cache.root.iterdir()) == []

@@ -79,6 +79,14 @@ class TestPinnedKeys:
         data = json.loads(factory().canonical_json())
         assert "injection" not in data
 
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_default_encodings_have_no_faults_field(self, name):
+        # fault-free jobs (faults=None) must omit the key entirely, so
+        # every pre-fault cache entry keeps its content address
+        factory, _ = PINNED[name]
+        data = json.loads(factory().canonical_json())
+        assert "faults" not in data
+
 
 class TestDefaultNormalisation:
     def test_explicit_bernoulli_hashes_like_the_default(self):
@@ -129,6 +137,46 @@ class TestDefaultNormalisation:
             mix=MIXED_TRAFFIC,
             rate=0.08,
             injection=OnOffProcess(burst_length=12.0),
+        )
+        clone = JobSpec.from_dict(json.loads(job.canonical_json()))
+        assert clone == job
+        assert clone.cache_key == job.cache_key
+
+    def test_fault_jobs_get_fresh_content_addresses(self):
+        from repro.noc.faults import BitErrorFaults, RandomFaults
+
+        factory, key = PINNED["golden_fig5_default"]
+        default = factory()
+        keys = {key}
+        for faults in (
+            BitErrorFaults(rate=1e-3),
+            BitErrorFaults(rate=1e-2),
+            RandomFaults(count=4),
+        ):
+            faulty = JobSpec(
+                config=default.config,
+                mix=default.mix,
+                rate=default.rate,
+                seed=default.seed,
+                warmup=default.warmup,
+                measure=default.measure,
+                drain=default.drain,
+                name=default.name,
+                faults=faults,
+            )
+            data = json.loads(faulty.canonical_json())
+            assert data["faults"]["name"] == faults.name
+            keys.add(faulty.cache_key)
+        assert len(keys) == 4
+
+    def test_round_trip_preserves_fault_keys(self):
+        from repro.noc.faults import LinkFaults
+
+        job = JobSpec(
+            config=proposed_network(),
+            mix=MIXED_TRAFFIC,
+            rate=0.08,
+            faults=LinkFaults(links=((1, 2, 500),), routers=((5, 900),)),
         )
         clone = JobSpec.from_dict(json.loads(job.canonical_json()))
         assert clone == job

@@ -1,9 +1,13 @@
-"""Executor: backend equivalence, cache counters, sweep integration."""
+"""Executor: backend equivalence, robustness, cache counters, sweeps."""
+
+import math
+import os
+import time
 
 import pytest
 
 from repro.core.presets import proposed_network
-from repro.engine import Executor, JobSpec, ResultCache, make_backend
+from repro.engine import Executor, JobFailure, JobSpec, ResultCache, make_backend
 from repro.engine.executor import ProcessPoolBackend, SerialBackend
 from repro.harness import experiments as exp
 from repro.harness.sweep import run_sweep, run_sweep_batch
@@ -60,6 +64,106 @@ class TestBackends:
     def test_single_job_short_circuits_pool(self):
         (stats,) = Executor(backend="process", workers=2).run(make_jobs([0.02]))
         assert stats.injection_rate == 0.02
+
+
+# worker functions for the robustness tests; must be module-level so
+# the pool can import them in its workers
+
+
+def _picky(payload):
+    if payload == 2:
+        raise ValueError("two is right out")
+    return payload * 10
+
+
+def _fail_once(flag_path):
+    if os.path.exists(flag_path):
+        return "recovered"
+    open(flag_path, "w").close()
+    raise RuntimeError("first attempt fails")
+
+
+def _hang(_payload):
+    time.sleep(60)
+
+
+def _die(_payload):
+    os._exit(1)
+
+
+class _FailingBackend:
+    """Stub backend whose every job comes back as a JobFailure."""
+
+    name = "stub"
+    retried = 1
+
+    def run(self, jobs):
+        return [JobFailure(error="kaboom", attempts=2) for _ in jobs]
+
+
+class TestRobustness:
+    def test_worker_exception_fails_that_job_alone(self):
+        backend = ProcessPoolBackend(workers=2, retries=1)
+        outcomes, attempts = backend._map(_picky, [1, 2, 3])
+        assert outcomes[0] == ("ok", 10)
+        assert outcomes[2] == ("ok", 30)
+        kind, message = outcomes[1]
+        assert kind == "err" and "ValueError" in message
+        assert attempts == [1, 2, 1]  # only the sick payload retried
+        assert backend.retried == 1
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        backend = ProcessPoolBackend(workers=1, retries=1)
+        flag = str(tmp_path / "failed-once")
+        outcomes, attempts = backend._map(_fail_once, [flag])
+        assert outcomes == [("ok", "recovered")]
+        assert attempts == [2]
+        assert backend.retried == 1
+
+    def test_hung_worker_times_out(self):
+        backend = ProcessPoolBackend(workers=1, timeout=0.5, retries=0)
+        outcomes, attempts = backend._map(_hang, [None])
+        kind, message = outcomes[0]
+        assert kind == "err" and "timed out" in message
+        assert attempts == [1]
+
+    def test_crashed_worker_is_contained(self):
+        # a worker killed mid-job never resolves its handle; the
+        # timeout path catches it and terminate() reaps the pool
+        backend = ProcessPoolBackend(workers=1, timeout=1.0, retries=0)
+        outcomes, _attempts = backend._map(_die, [None])
+        assert outcomes[0][0] == "err"
+
+    def test_run_surfaces_failures_as_jobfailure(self):
+        # timeout far below any real job: the run itself is healthy,
+        # the budget is exhausted — same code path as a hang
+        backend = ProcessPoolBackend(workers=1, timeout=0.001, retries=0)
+        (result,) = backend.run(make_jobs([0.02]))
+        assert isinstance(result, JobFailure)
+        assert result.attempts == 1
+
+    def test_executor_converts_failures_to_failed_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ex = Executor(backend=_FailingBackend(), cache=cache)
+        (stats,) = ex.run(make_jobs([0.02]))
+        assert stats.stop_reason == "failed"
+        assert stats.injection_rate == 0.02
+        assert math.isnan(stats.avg_latency)
+        assert math.isnan(stats.delivered_fraction)
+        # structured record in the batch summary, nothing cached
+        assert ex.last_batch["failures"] == [
+            {"job": "proposed", "rate": 0.02, "error": "kaboom", "attempts": 2}
+        ]
+        assert ex.last_batch["retried"] == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_backend_knobs_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(timeout=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(retries=-1)
+        backend = make_backend("process", timeout=30.0, retries=2)
+        assert backend.timeout == 30.0 and backend.retries == 2
 
 
 class TestCaching:

@@ -36,10 +36,13 @@ GOLDEN_FIG5_MIXED_011 = {
     "bypass_fraction": 0.7833885350318471,
     "config_name": "golden",
     "cycles": 1500,
+    "delivered_fraction": 1.0,
+    "dropped_flits": 0,
     "incomplete_messages": 0,
     "injection_rate": 0.11,
     "messages_measured": 1364,
     "received_flits": 13744,
+    "retransmissions": 0,
     "stop_reason": "completed",
     "throughput_flits_per_cycle": 9.162666666666667,
     "throughput_gbps": 586.4106666666667,
