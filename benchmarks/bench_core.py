@@ -45,8 +45,14 @@ from repro.noc.config import NocConfig
 from repro.noc.routing import make_routing
 from repro.noc.simulator import Simulator
 from repro.traffic.generators import SyntheticTraffic
-from repro.traffic.mix import MIXED_TRAFFIC
+from repro.traffic.mix import MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.processes import OnOffProcess
+
+#: cycle budgets of the array-backend points (the object side bounds
+#: the wall time: at 16x16 mid-load it runs ~50 cycles/s)
+ARRAY_BUDGETS = {4: 2_000, 8: 800, 16: 300}
+ARRAY_BUDGETS_QUICK = {4: 800, 8: 300, 16: 120}
+ARRAY_WARMUP = {4: 300, 8: 200, 16: 100}
 
 #: Fig. 5 operating points for the 4x4 chip; low/mid/saturation for
 #: larger meshes are derived from the mix's theoretical rate grid.
@@ -83,12 +89,12 @@ def load_points(k):
 
 
 def time_loop(k, rate, cycles, warmup, gated, routing=None, process=None,
-              observed=False):
+              observed=False, mix=MIXED_TRAFFIC, backend="object"):
     cfg = NocConfig(k=k) if routing is None else NocConfig(
         k=k, routing=make_routing(routing)
     )
-    traffic = SyntheticTraffic(MIXED_TRAFFIC, rate, seed=7, process=process)
-    sim = Simulator(cfg, traffic, gated=gated)
+    traffic = SyntheticTraffic(mix, rate, seed=7, process=process)
+    sim = Simulator(cfg, traffic, gated=gated, backend=backend)
     if observed:
         from repro.obs import Observer
 
@@ -218,6 +224,43 @@ def measure(quick=False, budgets=None, repeats=2):
             # worst case); probes-OFF residue is checked structurally
             # and timed by ``--probe-gate``
             instrumented("mid-traced", "vs_plain_mid", observed=True)
+    # array-backend points (DESIGN.md §9): mid-load on 4x4/8x8/16x16,
+    # uniform unicast (the array backend rejects broadcast mixes), the
+    # same backend interleaved against the gated object oracle.  The
+    # ``vs_object_mid`` ratio is the representation-change payoff and
+    # is CI-gated like the other ratios; the 16x16 point is the first
+    # large-radix scaling exhibit (the object loop runs ~50 cycles/s
+    # there, which is why large-mesh sweeps need the array kernel).
+    for k in (4, 8, 16):
+        mesh = f"{k}x{k}"
+        rate = default_rates(UNIFORM_UNICAST, k * k, points=8)[3]
+        default = (ARRAY_BUDGETS_QUICK if quick else ARRAY_BUDGETS)[k]
+        budget = budgets.get((mesh, "mid-array"), default) if budgets \
+            else default
+        arr, obj = interleaved(
+            k, rate, budget, ARRAY_WARMUP[k],
+            variants=[
+                {"gated": True, "mix": UNIFORM_UNICAST, "backend": "array"},
+                {"gated": True, "mix": UNIFORM_UNICAST},
+            ],
+        )
+        points.append(
+            {
+                "mesh": mesh,
+                "load": "mid-array",
+                "rate": round(rate, 6),
+                "cycles_timed": budget,
+                "array_cycles_per_sec": round(arr, 1),
+                "object_cycles_per_sec": round(obj, 1),
+                "vs_object_mid": round(arr / obj, 3),
+            }
+        )
+        print(
+            f"{mesh} {'mid-array':10s} rate={rate:.4f}  "
+            f"array={arr:10,.0f} c/s  object={obj:10,.0f} c/s  "
+            f"vs_object_mid={arr / obj:.2f}x",
+            file=sys.stderr,
+        )
     return {
         "schema": 1,
         "traffic": MIXED_TRAFFIC.name,
@@ -277,6 +320,23 @@ def probe_gate(overhead_limit=0.02, repeats=7):
     )
     if residue:
         failures.append(f"{len(residue)} probe slot(s) survived detach")
+
+    # the array backend has no probe slots at all (support matrix,
+    # DESIGN.md §9): attach must refuse loudly rather than silently
+    # observe nothing, and the refusal must leave the simulator
+    # untouched (no partial wiring)
+    arr = Simulator(
+        NocConfig(k=4),
+        SyntheticTraffic(UNIFORM_UNICAST, rate, seed=7),
+        backend="array",
+    )
+    try:
+        Observer(trace=True).attach(arr)
+    except ValueError:
+        if getattr(arr, "obs", None) is not None:
+            failures.append("rejected attach left obs set on array backend")
+    else:
+        failures.append("Observer.attach accepted the array backend")
 
     def timed(sim):
         sim.run(300)
@@ -402,7 +462,8 @@ def check(result, baseline, tolerance):
             continue
         covered.add(key)
         for metric in (
-            "speedup", "vs_xy_mid", "vs_bernoulli_mid", "vs_plain_mid"
+            "speedup", "vs_xy_mid", "vs_bernoulli_mid", "vs_plain_mid",
+            "vs_object_mid",
         ):
             want = expected[key].get(metric)
             if want is None:

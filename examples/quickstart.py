@@ -11,7 +11,7 @@ The same sweeps are available from the command line via the experiment
 engine (parallel backends + persistent result cache), e.g.:
 
     python -m repro sweep --config proposed --mix mixed --rates 0.08
-    python -m repro figure fig5 --backend process
+    python -m repro figure fig5 --executor process
     python -m repro cache stats
 
 See README.md for the full CLI reference.

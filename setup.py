@@ -31,6 +31,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
+    # numpy is a real runtime dependency: circuits/eye.py and
+    # circuits/sense_amp.py import it at module top level, and the
+    # array simulation backend (repro.noc.array_backend) is built on
+    # it.  It was previously undeclared and only present via
+    # transitive installs — see the packaging note in README.md.
+    install_requires=["numpy"],
     entry_points={
         "console_scripts": [
             "repro = repro.engine.cli:main",

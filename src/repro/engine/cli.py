@@ -55,6 +55,7 @@ from repro.noc.faults import (
     SwingFaults,
     fault_names,
 )
+from repro.noc.backend import backend_names
 from repro.noc.routing import make_routing, routing_names
 from repro.traffic.mix import BROADCAST_ONLY, MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.patterns import HotspotPattern, make_pattern, pattern_names
@@ -441,10 +442,19 @@ def _make_traffic_pattern(args):
 def _add_engine_args(parser):
     group = parser.add_argument_group("engine")
     group.add_argument(
-        "--backend",
+        "--executor",
         choices=("serial", "process"),
         default="serial",
-        help="execution backend (default: serial)",
+        help="execution strategy: in-process serial or a process pool "
+        "(default: serial)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="object",
+        help="simulation backend (default: object, the oracle; 'array' "
+        "is the vectorized numpy kernel — see the support matrix in "
+        "repro.noc.array_backend)",
     )
     group.add_argument(
         "--workers",
@@ -536,7 +546,7 @@ def _configure_logging(args):
 def _make_executor(args):
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     return Executor(
-        backend=args.backend,
+        backend=args.executor,
         workers=args.workers,
         cache=cache,
         telemetry=args.telemetry,
@@ -545,7 +555,7 @@ def _make_executor(args):
 
 def _log_engine_summary(executor):
     logger.info(
-        "[engine] backend=%s executed=%d cache_hits=%d cache_misses=%d",
+        "[engine] executor=%s executed=%d cache_hits=%d cache_misses=%d",
         executor.backend.name,
         executor.executed,
         executor.cache_hits,
@@ -602,6 +612,7 @@ def cmd_sweep(args):
         rates,
         name=args.config,
         executor=executor,
+        backend=args.backend,
         seed=args.seed,
         warmup=args.warmup,
         measure=args.measure,
@@ -662,11 +673,13 @@ def cmd_figure(args):
             or args.pattern != "uniform"
             or args.routing != "xy"
             or args.injection != "bernoulli"
+            or args.backend != "object"
         ):
             logger.warning(
                 "the reliability figure fixes its own fault models and "
-                "uniform-XY-Bernoulli workload; --faults/--pattern/"
-                "--routing/--injection are ignored (use --fault-counts/"
+                "uniform-XY-Bernoulli workload on the object backend "
+                "(faults are object-only); --faults/--pattern/--routing/"
+                "--injection/--backend are ignored (use --fault-counts/"
                 "--fault-swings/--link-error-rate to shape the grids)"
             )
         kwargs = dict(seed=args.seed, executor=executor)
@@ -700,6 +713,7 @@ def cmd_figure(args):
         kwargs = dict(
             seed=args.seed,
             executor=executor,
+            backend=args.backend,
             pattern=_make_traffic_pattern(args),
             routing=_make_routing(args),
             injection=_make_injection(args),
@@ -722,7 +736,8 @@ def cmd_figure(args):
         _log_engine_summary(executor)
     else:
         engine_flags = (
-            args.backend != "serial"
+            args.executor != "serial"
+            or args.backend != "object"
             or args.workers is not None
             or args.no_cache
             or args.cache_dir != DEFAULT_CACHE_DIR

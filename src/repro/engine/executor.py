@@ -164,7 +164,7 @@ class ProcessPoolBackend:
     def run(self, jobs):
         jobs = list(jobs)
         outcomes, attempts = self._map(
-            _run_payload, [job.to_dict() for job in jobs]
+            _run_payload, [job.to_payload() for job in jobs]
         )
         return [
             WindowStats.from_dict(value)
@@ -182,7 +182,7 @@ class ProcessPoolBackend:
         """
         jobs = list(jobs)
         outcomes, attempts = self._map(
-            _run_payload_profiled, [job.to_dict() for job in jobs]
+            _run_payload_profiled, [job.to_payload() for job in jobs]
         )
         out = []
         for i, (kind, value) in enumerate(outcomes):

@@ -56,6 +56,14 @@ class JobSpec:
     #: ``None`` means fault free and is omitted from the encoding, so
     #: pre-fault cache keys stay valid byte for byte
     faults: object = None
+    #: simulation backend (see :mod:`repro.noc.backend`).  An
+    #: *execution* detail, never an identity axis: it is excluded from
+    #: :meth:`to_dict` / :meth:`canonical_json` entirely (not merely
+    #: omitted-when-default), because equal jobs produce byte-identical
+    #: stats on every backend that accepts them, and so must share one
+    #: content address.  Worker payloads carry it via
+    #: :meth:`to_payload`, where it *is* omitted-when-default.
+    backend: str = "object"
 
     @property
     def routing(self):
@@ -83,6 +91,12 @@ class JobSpec:
             self.injection.validate(self.rate)
         if self.faults is not None:
             self.faults.validate(self.config)
+        if self.backend != "object":
+            # surfaces a typo (or an unknown name in a deserialized
+            # payload) as a ValueError naming the available backends
+            from repro.noc.backend import resolve_backend
+
+            resolve_backend(self.backend)
 
     # ------------------------------------------------------------ identity
 
@@ -113,6 +127,16 @@ class JobSpec:
             data["faults"] = self.faults.to_dict()
         return data
 
+    def to_payload(self):
+        """The worker-shipping representation: :meth:`to_dict` plus the
+        execution-only ``backend`` key (omitted for the default), which
+        :meth:`from_dict` accepts but :meth:`canonical_json` never
+        sees."""
+        data = self.to_dict()
+        if self.backend != "object":
+            data["backend"] = self.backend
+        return data
+
     @classmethod
     def from_dict(cls, data):
         # lazy import: repro.noc.faults pulls in the recovery stack,
@@ -137,6 +161,7 @@ class JobSpec:
                 process_from_dict(injection) if injection is not None else None
             ),
             faults=fault_from_dict(faults) if faults is not None else None,
+            backend=data.get("backend", "object"),
         )
 
     def canonical_json(self):
@@ -161,7 +186,7 @@ class JobSpec:
             pattern=self.pattern,
             process=self.injection,
         )
-        sim = Simulator(self.config, name=self.name)
+        sim = Simulator(self.config, name=self.name, backend=self.backend)
         if self.faults is not None:
             # before the traffic: a hard model swaps the routing
             # runtime, which attach_traffic then validates against
@@ -186,6 +211,12 @@ class JobSpec:
         """
         from repro.obs import Observer
 
+        if self.backend != "object":
+            raise ValueError(
+                "phase profiling requires backend='object' (probes are "
+                "object-only; see the support matrix in "
+                "repro.noc.array_backend)"
+            )
         sim = self._simulator()
         obs = Observer(trace=False, profile=True).attach(sim)
         stats = sim.run_experiment(

@@ -113,6 +113,7 @@ def fig5_mixed_traffic(
     drain=DEFAULT_DRAIN,
     seed=DEFAULT_SEED,
     executor=None,
+    backend="object",
     pattern=None,
     routing=None,
     injection=None,
@@ -152,6 +153,7 @@ def fig5_mixed_traffic(
         MIXED_TRAFFIC,
         rates,
         executor=executor,
+        backend=backend,
         routing=routing,
         warmup=warmup,
         measure=measure,
@@ -185,6 +187,7 @@ def fig13_broadcast_traffic(
     drain=DEFAULT_DRAIN,
     seed=DEFAULT_SEED,
     executor=None,
+    backend="object",
     pattern=None,
     routing=None,
     injection=None,
@@ -228,6 +231,7 @@ def fig13_broadcast_traffic(
         BROADCAST_ONLY,
         rates,
         executor=executor,
+        backend=backend,
         warmup=warmup,
         measure=measure,
         drain=drain,

@@ -34,6 +34,7 @@ def run_point(
     pattern=None,
     injection=None,
     faults=None,
+    backend="object",
 ):
     """Simulate one operating point; returns WindowStats."""
     return JobSpec(
@@ -49,6 +50,7 @@ def run_point(
         pattern=pattern,
         injection=injection,
         faults=faults,
+        backend=backend,
     ).run()
 
 

@@ -1,0 +1,32 @@
+"""Struct-of-arrays simulation backend (DESIGN.md §9).
+
+The :class:`ArraySimulator` replaces the object-per-flit cycle loop
+with preallocated numpy integer arrays indexed ``[router, port, vc,
+slot]`` and executes each DESIGN.md §1 phase as one vectorized pass
+over all routers.  It is registered as ``backend="array"`` in
+:mod:`repro.noc.backend`; the object loop remains the oracle, and the
+equivalence suite in ``tests/noc/test_array_backend.py`` asserts
+byte-identical WindowStats and per-router counters on every supported
+workload axis.
+
+Support matrix (anything outside raises a clear ``ValueError``):
+
+==================  ==========================================
+axis                 supported by ``backend="array"``
+==================  ==========================================
+traffic mixes        unicast-only (broadcasts need the XY-tree
+                     fork path of the object backend)
+routing              xy, yx, o1turn (valiant's en-route header
+                     rewrite is object-only)
+patterns             all registered patterns
+injection processes  all (bernoulli, onoff, mmp)
+pipeline             combined ST+LT only (``separate_st_lt``
+                     is object-only)
+faults               object-only
+observability        object-only (probes never touch the arrays)
+==================  ==========================================
+"""
+
+from repro.noc.array_backend.kernel import ArraySimulator
+
+__all__ = ["ArraySimulator"]

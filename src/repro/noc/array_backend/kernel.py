@@ -1,0 +1,1261 @@
+"""The struct-of-arrays cycle kernel (DESIGN.md §9).
+
+Layout
+------
+Routers are flattened: with ``R = k*k`` routers and ``P = 5`` ports,
+input port ``p`` of router ``r`` is flat index ``n = r*P + p`` and the
+matching output port is the same flat index on the output side.  Every
+piece of per-port pipeline state — VC buffers, the S2 outport-request
+register, the scheduled-ST register, lookahead and bypass latches —
+is a preallocated numpy array over ``n`` (and ``[n, vc, slot]`` for
+the buffers).  Credit trackers are unified: tracker ``m < R*P`` is
+router output port ``m`` and tracker ``R*P + r`` is NIC ``r``.
+
+Channels collapse into receiver-indexed registers.  Flit, lookahead,
+injection and ejection wires have delay one and at most one payload
+per wire per cycle, and within a cycle every read of such a wire
+(phase ``receive``) precedes every write (``st``/``msa2``/NIC step),
+so a single slot per receiver is exact.  Credit wires have delay two
+and at most one credit per wire per cycle, so a two-slot ping-pong
+indexed by ``arrival_cycle % 2`` is exact for the same reason.
+
+Performance notes
+-----------------
+At small radix the cost of a numpy pass is dominated by per-op
+dispatch, not element count, so the kernel is written to minimise op
+*count*: flit identity travels as one packed word (``pid << 2 |
+flags``), emptiness checks are plain Python integers maintained at the
+mutation sites instead of array scans, activity counters are per-port
+arrays bumped with unique-index fancy adds (every event set touches
+each port at most once per cycle — a pinned pipeline invariant) and
+folded to per-router view lazily, and the NIC front end (injection
+draws, VC allocation, class round-robin) runs as vectorized passes
+over numpy ring queues.
+
+Draw-stream contract
+--------------------
+PRBS-31 streams live in int64 state arrays and are advanced with the
+same two-shift/xor ``next_word(24)`` batch step as
+:class:`repro.traffic.prbs.PRBSGenerator`, under masks that replicate
+the object backend's *conditional* draws exactly: a zero-rate chain
+state consumes no main-stream word, a ``leave == 0`` state consumes
+no chain word, deterministic patterns consume no destination word and
+o1turn consumes one routing-stream bit per unicast packet header.
+Initial states are produced by the tested scalar constructors
+(seed diffusion, the stationary-distribution chain draw), then lifted
+into the arrays — so the very first draw already matches the oracle.
+
+Everything observable — WindowStats, per-router and per-NIC
+ActivityCounters, stop reasons, watchdog behaviour — is byte-identical
+to ``backend="object"`` for every workload this kernel accepts; the
+equivalence suite pins that claim across the injection x routing x
+pattern matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.metrics import ActivityCounters, summarize_window
+from repro.noc.ports import EAST, LOCAL, NORTH, NUM_PORTS, OPPOSITE, SOUTH, WEST
+from repro.noc.routing import _ROUTING_STREAM_SALT, coords, node_at
+from repro.noc.simulator import WATCHDOG_CYCLES, SimulationStalled
+from repro.traffic.prbs import PRBSGenerator, salted_stream_seed
+
+P = NUM_PORTS
+_MASK31 = (1 << 31) - 1
+#: packed flit word: ``pid << 2 | flags`` with HEAD/TAIL flag bits
+_HEAD = 1
+_TAIL = 2
+#: buf_stage encoding (mirrors Flit.stage None / "S2" / "GRANTED")
+_ST_NONE, _ST_S2, _ST_GRANTED = 0, 1, 2
+
+#: routing algorithms the kernel can compile (valiant rewrites headers
+#: en route, which only the object backend models)
+_SUPPORTED_ROUTING = ("o1turn", "xy", "yx")
+
+
+def _unsupported(what):
+    return ValueError(
+        f"backend=\"array\" does not support {what}; "
+        f"use backend=\"object\" (see the support matrix in "
+        f"repro/noc/array_backend/__init__.py and DESIGN.md §9)"
+    )
+
+
+def _word24(state):
+    """Vectorized ``PRBSGenerator.next_word(24)`` on an int64 array."""
+    word = ((state >> 7) ^ (state >> 4)) & 0xFFFFFF
+    return word, ((state << 24) | word) & _MASK31
+
+
+class _MsgView:
+    """Lightweight stand-in for :class:`repro.noc.flit.Message` with
+    exactly the surface :func:`summarize_window` consumes."""
+
+    __slots__ = ("creation_cycle", "completion_cycle", "flits_per_packet")
+    is_multicast = False
+
+    def __init__(self, creation, completion, flits):
+        self.creation_cycle = creation
+        self.completion_cycle = None if completion < 0 else completion
+        self.flits_per_packet = flits
+
+    @property
+    def complete(self):
+        return self.completion_cycle is not None
+
+    @property
+    def latency(self):
+        return self.completion_cycle - self.creation_cycle
+
+
+class _ArrayNetwork:
+    """Stats facade matching the ``Simulator.network`` surface."""
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    @property
+    def cfg(self):
+        return self._sim.cfg
+
+    @property
+    def cycles(self):
+        return self._sim._net_cycles
+
+    @property
+    def ejections(self):
+        return self._sim._net_ejections
+
+    @property
+    def router_stats(self):
+        return self._sim._router_counters()
+
+    @property
+    def nic_stats(self):
+        return self._sim._nic_counters()
+
+    @property
+    def messages(self):
+        return self._sim._message_views(0, self._sim._mcount)
+
+    def total_router_activity(self):
+        agg = ActivityCounters()
+        for c in self.router_stats:
+            agg = agg + c
+        agg.cycles += self.cycles * self._sim.R
+        return agg
+
+    def total_nic_activity(self):
+        agg = ActivityCounters()
+        for c in self.nic_stats:
+            agg = agg + c
+        agg.cycles += self.cycles * self._sim.R
+        return agg
+
+
+class ArraySimulator:
+    """Struct-of-arrays drop-in for :class:`repro.noc.simulator.Simulator`.
+
+    Construct it directly or via ``Simulator(..., backend="array")``.
+    The constructor surface, :meth:`run`, :meth:`run_experiment`,
+    :meth:`activity` and the ``network`` stats facade match the object
+    backend; unsupported workload axes raise ``ValueError`` at attach
+    or construction time instead of silently diverging.
+    """
+
+    backend = "array"
+
+    def __init__(self, config, traffic=None, name="", gated=True):
+        if config.separate_st_lt:
+            raise _unsupported("the split ST/LT pipeline (separate_st_lt)")
+        if config.routing.name not in _SUPPORTED_ROUTING:
+            raise _unsupported(f"{config.routing.name!r} routing")
+        self.cfg = config
+        self.name = name or ("proposed" if config.bypass else "baseline")
+        self.gated = gated
+        self.cycle = 0
+        self.obs = None
+        self.faults = None
+        self._bypass = config.bypass
+        self._last_progress = 0
+        self._watchdog_start = 0
+        self._watchdog_armed = False
+        self._build_static()
+        self._build_state()
+        self.network = _ArrayNetwork(self)
+        self._traffic = None
+        self._sources_on = False
+        if traffic is not None:
+            self.attach_traffic(traffic)
+
+    # ------------------------------------------------------------------
+    # compilation: geometry, routing and VC tables
+    # ------------------------------------------------------------------
+
+    def _build_static(self):
+        cfg = self.cfg
+        k = cfg.k
+        R = self.R = k * k
+        N = self.N = R * P
+        self.T = N + R  # trackers: router out ports, then NICs
+        V = self.V = cfg.num_vcs
+        self.D = max(spec.depth for spec in cfg.vcs)
+
+        # link topology: downstream input port of each output port, the
+        # tracker each input port returns credits to
+        dst_in = np.full(N, -1, dtype=np.int64)
+        cred_target = np.full(N, -1, dtype=np.int64)
+        for r in range(R):
+            x, y = coords(r, k)
+            cred_target[r * P + LOCAL] = N + r  # NIC tracker
+            for port, (nx, ny) in (
+                (NORTH, (x, y + 1)),
+                (EAST, (x + 1, y)),
+                (SOUTH, (x, y - 1)),
+                (WEST, (x - 1, y)),
+            ):
+                if not (0 <= nx < k and 0 <= ny < k):
+                    continue
+                nb = node_at(nx, ny, k)
+                dst_in[r * P + port] = nb * P + OPPOSITE[port]
+                cred_target[r * P + port] = nb * P + OPPOSITE[port]
+        self.DST_IN = dst_in
+        self.CRED_TARGET = cred_target
+
+        # unicast route tables: output port by (dimension order, router,
+        # destination); 0 = XY, 1 = YX — o1turn headers index into this
+        route = np.empty((2, R, R), dtype=np.int64)
+        for r in range(R):
+            x, y = coords(r, k)
+            for d in range(R):
+                dx, dy = coords(d, k)
+                if dx < x:
+                    xy = WEST
+                elif dx > x:
+                    xy = EAST
+                elif dy > y:
+                    xy = NORTH
+                elif dy < y:
+                    xy = SOUTH
+                else:
+                    xy = LOCAL
+                if dy > y:
+                    yx = NORTH
+                elif dy < y:
+                    yx = SOUTH
+                elif dx > x:
+                    yx = EAST
+                elif dx < x:
+                    yx = WEST
+                else:
+                    yx = LOCAL
+                route[0, r, d] = xy
+                route[1, r, d] = yx
+        self.ROUTE = route
+
+        # VC free-queue groups keyed (message class, routing phase)
+        phases = cfg.vc_phases
+        groups = {}
+        members = []
+        vc_group = np.empty(V, dtype=np.int64)
+        for i, spec in enumerate(cfg.vcs):
+            key = (int(spec.mclass), phases[i])
+            g = groups.get(key)
+            if g is None:
+                g = groups[key] = len(groups)
+                members.append([])
+            vc_group[i] = g
+            members[g].append(i)
+        G = self.G = len(groups)
+        self.VC_GROUP = vc_group
+        self.GROUP_CAP = np.array([len(m) for m in members], dtype=np.int64)
+        n_phases = max(p for _, p in groups) + 1
+        gid = np.full((2, n_phases), -1, dtype=np.int64)
+        for (mc, ph), g in groups.items():
+            gid[mc, ph] = g
+        self.GROUP_ID = gid
+        self.VC_DEPTH = np.array([spec.depth for spec in cfg.vcs],
+                                 dtype=np.int64)
+        self._freeq_init = np.zeros((G, V), dtype=np.int64)
+        for g, mem in enumerate(members):
+            self._freeq_init[g, : len(mem)] = mem
+        self._vcidx = np.arange(V)
+
+    def _build_state(self):
+        N, V, D, T, R, G = self.N, self.V, self.D, self.T, self.R, self.G
+        z = np.zeros
+        # input VC buffers (circular, per [port, vc])
+        self.buf_pkt = z((N, V, D), dtype=np.int64)
+        self.buf_stage = z((N, V, D), dtype=np.int64)
+        self.bhead = z((N, V), dtype=np.int64)
+        self.bocc = z((N, V), dtype=np.int64)
+        # per-port registers
+        self.s2_vc = np.full(N, -1, dtype=np.int64)
+        self.s2_slot = z(N, dtype=np.int64)
+        self.rrptr = z(N, dtype=np.int64)  # mSA-I round-robin pointers
+        self.st_valid = z(N, dtype=bool)
+        self.st_bypass = z(N, dtype=bool)
+        self.st_vc = z(N, dtype=np.int64)
+        self.st_port = z(N, dtype=np.int64)
+        self.st_ovc = z(N, dtype=np.int64)
+        self.latch_pkt = z(N, dtype=np.int64)
+        # channel registers (receiver indexed; delay-one single slot)
+        self.fl_valid = z(N, dtype=bool)
+        self.fl_pkt = z(N, dtype=np.int64)
+        self.fl_vc = z(N, dtype=np.int64)
+        self.lv_valid = z(N, dtype=bool)  # lookahead in flight
+        self.lv_pkt = z(N, dtype=np.int64)
+        self.lv_vc = z(N, dtype=np.int64)
+        self.la_valid = z(N, dtype=bool)  # la_now latch
+        self.la_pkt = z(N, dtype=np.int64)
+        self.la_vc = z(N, dtype=np.int64)
+        self.ej_valid = z(R, dtype=bool)
+        self.ej_pkt = z(R, dtype=np.int64)
+        self.ej_vc = z(R, dtype=np.int64)
+        # credit ping-pong (delay two)
+        self.cr_valid = z((T, 2), dtype=bool)
+        self.cr_vc = z((T, 2), dtype=np.int64)
+        self.cr_tail = z((T, 2), dtype=bool)
+        # unified credit trackers (router out ports + NICs)
+        self.owner = np.full((T, V), -1, dtype=np.int64)
+        self.credits = np.tile(self.VC_DEPTH, (T, 1))
+        self.freeq = np.tile(self._freeq_init, (T, 1, 1))
+        self.fq_head = z((T, G), dtype=np.int64)
+        self.fq_len = np.tile(self.GROUP_CAP, (T, 1))
+        # matrix arbiters as LRU rank vectors: the matrix state always
+        # encodes a total order (winner drops to the bottom, everyone
+        # else keeps relative order), so "beats all other requesters"
+        # is just "minimum rank".  Ranks stay distinct per port because
+        # every update assigns a fresh per-port counter value.
+        self.arank = np.tile(np.arange(P, dtype=np.int64), (N, 1))
+        self._rank_next = np.full(N, P, dtype=np.int64)
+        # NIC state: ring queues per (node, message class)
+        self.pend_valid = z(R, dtype=bool)
+        self.pend_pkt = z(R, dtype=np.int64)
+        self.pend_vc = z(R, dtype=np.int64)
+        self.nrr = z(R, dtype=np.int64)  # message-class round robin
+        self._qcap = 64
+        self.q_pkt = z((R, 2, self._qcap), dtype=np.int64)
+        self.q_head = z((R, 2), dtype=np.int64)
+        self.q_len = z((R, 2), dtype=np.int64)
+        self.backlog = z(R, dtype=bool)
+        # packet/message tables (pid == mid for unicast; grown on demand)
+        cap = 1024
+        self._cap = cap
+        self._mcount = 0
+        self.p_dest = z(cap, dtype=np.int64)
+        self.p_ord = z(cap, dtype=np.int64)
+        self.p_gid = z(cap, dtype=np.int64)
+        self.p_nflits = z(cap, dtype=np.int64)
+        self.p_creation = z(cap, dtype=np.int64)
+        self.p_completion = z(cap, dtype=np.int64)
+        # activity counters: per input/output port (folded per router
+        # lazily); c_st covers credits_sent == xbar_in == xbar_out
+        for cname in ("c_bw", "c_br", "c_st", "c_byp", "c_link",
+                      "c_m1", "c_m2", "c_las", "c_lar"):
+            setattr(self, cname, z(N, dtype=np.int64))
+        for cname in ("c_ej", "n_inj", "n_ej", "n_sub", "n_las"):
+            setattr(self, cname, z(R, dtype=np.int64))
+        self._net_cycles = 0
+        self._net_ejections = 0
+        # emptiness counters (maintained at the mutation sites so the
+        # hot loop never scans an array just to find it empty)
+        self._fl_n = 0
+        self._lv_n = 0
+        self._la_n = 0
+        self._ej_n = 0
+        self._st_n = 0
+        self._pend_n = 0
+        self._cr_n = [0, 0]
+        self._bocc_n = 0
+        self._s2_n = 0
+        # arbitration scratch
+        self._best = z(N, dtype=np.int64)
+        self._used = z(N, dtype=bool)
+        # GRANTED flits in flight (set at buffered grant, cleared at
+        # the traversal next cycle) — lets mSA-I skip the stage gather
+        self._gr_n = 0
+        self._bl_any = False
+
+    # ------------------------------------------------------------------
+    # workload attachment
+    # ------------------------------------------------------------------
+
+    def attach_traffic(self, traffic):
+        """Compile a bound :class:`SyntheticTraffic` into array form."""
+        mix = getattr(traffic, "mix", None)
+        process = getattr(traffic, "process", None)
+        if mix is None or process is None:
+            raise _unsupported(
+                f"traffic source {type(traffic).__name__} (only "
+                f"SyntheticTraffic workloads compile to arrays)"
+            )
+        if any(c.broadcast for c in mix.components):
+            raise _unsupported("multicast/broadcast traffic mixes")
+        traffic.bind(self.cfg)
+        self._traffic = traffic
+        self._packet_rate = traffic._packet_rate
+        R = self.R
+        # main traffic streams: the scalar constructor performs the
+        # tested seed diffusion; we lift its register state
+        tstate = np.empty(R, dtype=np.int64)
+        for node in range(R):
+            node_seed = (traffic.seed if traffic.identical_generators
+                         else traffic.seed + node)
+            tstate[node] = PRBSGenerator(order=31, seed=node_seed)._state
+        self.tstate = tstate
+        # modulated injection: lift each node's ChainState
+        steppers = traffic._steppers
+        if steppers is None:
+            self.cstate = None
+        else:
+            self.cstate = np.empty(R, dtype=np.int64)
+            self.chstate = np.empty(R, dtype=np.int64)
+            for node in range(R):
+                chain = steppers[node]
+                self.cstate[node] = chain.chain._state
+                self.chstate[node] = chain.state
+            self.probs_tab = np.array(steppers[0].probs, dtype=np.float64)
+            self.leave_tab = np.array(steppers[0].leave, dtype=np.float64)
+            self.n_states = len(self.probs_tab)
+        # mix selection: searchsorted over the cumulative weights plus
+        # the oracle's fallback component as a trailing entry
+        cum = list(mix.cumulative_weights())
+        comps = [c for _, c in cum] + [mix.components[-1]]
+        self._cum_arr = np.array([w for w, _ in cum], dtype=np.float64)
+        self._comp_mclass = np.array([int(c.mclass) for c in comps],
+                                     dtype=np.int64)
+        self._comp_nflits = np.array([c.num_flits for c in comps],
+                                     dtype=np.int64)
+        # destination pattern
+        pattern = traffic.pattern
+        if traffic._dest_table is not None:
+            self._dest_arr = np.array(
+                [next(iter(d)) for d in traffic._dest_table], dtype=np.int64
+            )
+            self._pattern_kind = "table"
+        elif pattern.name == "uniform":
+            self._pattern_kind = "uniform"
+        elif pattern.name == "hotspot":
+            self._pattern_kind = "hotspot"
+            self._hot_arr = np.array(pattern.hot_nodes, dtype=np.int64)
+            self._hot_fraction = pattern.fraction
+        else:
+            raise _unsupported(f"the stochastic {pattern.name!r} pattern")
+        # routing header streams (only o1turn draws from them)
+        routing = self.cfg.routing
+        self._o1turn = routing.name == "o1turn"
+        self._route_fixed = self.ROUTE[1 if routing.name == "yx" else 0]
+        if self._o1turn:
+            self.rstate = np.empty(R, dtype=np.int64)
+            for node in range(R):
+                seed = salted_stream_seed(
+                    traffic.seed, _ROUTING_STREAM_SALT, node
+                )
+                self.rstate[node] = PRBSGenerator(order=31, seed=seed)._state
+        self._sources_on = True
+        # queues start empty, so nothing is backlogged until a submit
+        self.backlog[:] = False
+        self._bl_any = False
+
+    def attach_faults(self, model, seed=None):
+        raise _unsupported("fault injection")
+
+    # ------------------------------------------------------------------
+    # cycle phases
+    # ------------------------------------------------------------------
+
+    def step(self):
+        self._step()
+
+    def _step(self):
+        t = self.cycle
+        self._receive(t)
+        if self._ej_n:
+            self._nic_receive(t)
+        self._nic_step(t)
+        if self._st_n:
+            self._st(t)
+        if (self._bypass and self._la_n) or self._s2_n:
+            self._msa2(t)
+        if self._bocc_n:
+            self._msa1(t)
+        self._net_cycles += 1
+        self._check_watchdog()
+        self.cycle += 1
+
+    def _receive(self, t):
+        # credit arrivals (a credit sent at t-2 lands in slot t&1 now)
+        slot = t & 1
+        if self._cr_n[slot]:
+            self._cr_n[slot] = 0
+            cv = self.cr_valid[:, slot]
+            tr = cv.nonzero()[0]
+            cv[:] = False
+            vcs = self.cr_vc[tr, slot]
+            self.credits[tr, vcs] += 1
+            tails = self.cr_tail[tr, slot]
+            if tails.any():
+                trt = tr[tails]
+                vct = vcs[tails]
+                self.owner[trt, vct] = -1
+                g = self.VC_GROUP[vct]
+                cap = self.GROUP_CAP[g]
+                pos = (self.fq_head[trt, g] + self.fq_len[trt, g]) % cap
+                self.freeq[trt, g, pos] = vct
+                self.fq_len[trt, g] += 1
+        # flit arrivals: bypass reservations latch, the rest buffer
+        if self._fl_n:
+            self._fl_n = 0
+            narr = self.fl_valid.nonzero()[0]
+            self.fl_valid[:] = False
+            pkt = self.fl_pkt[narr]
+            vcs = self.fl_vc[narr]
+            byp = self.st_valid[narr] & self.st_bypass[narr]
+            if byp.any():
+                nb = narr[byp]
+                self.latch_pkt[nb] = pkt[byp]
+            buf = ~byp
+            if buf.any():
+                nw = narr[buf]
+                vw = vcs[buf]
+                slotw = (self.bhead[nw, vw] + self.bocc[nw, vw]) % self.D
+                self.buf_pkt[nw, vw, slotw] = pkt[buf]
+                self.buf_stage[nw, vw, slotw] = _ST_NONE
+                self.bocc[nw, vw] += 1
+                self.c_bw[nw] += 1
+                self._bocc_n += len(nw)
+        # lookahead arrivals replace the la_now latch (array swap: the
+        # in-flight registers become the latch, the stale latch becomes
+        # next cycle's in-flight registers)
+        if self._la_n:
+            self.la_valid[:] = False
+            self._la_n = 0
+        if self._lv_n:
+            self.la_valid, self.lv_valid = self.lv_valid, self.la_valid
+            self.la_pkt, self.lv_pkt = self.lv_pkt, self.la_pkt
+            self.la_vc, self.lv_vc = self.lv_vc, self.la_vc
+            self._la_n = self._lv_n
+            self._lv_n = 0
+            idx = self.la_valid.nonzero()[0]
+            self.c_lar[idx] += 1
+
+    def _nic_receive(self, t):
+        self._ej_n = 0
+        rs = self.ej_valid.nonzero()[0]
+        self.ej_valid[:] = False
+        pkt = self.ej_pkt[rs]
+        self.n_ej[rs] += 1
+        tails = (pkt & _TAIL) != 0
+        if tails.any():
+            # reception convention: visible at t, received at end of t-1
+            self.p_completion[pkt[tails] >> 2] = t - 1
+        tracker = rs * P + LOCAL  # the router's LOCAL output tracker
+        slot = t & 1
+        self.cr_valid[tracker, slot] = True
+        self.cr_vc[tracker, slot] = self.ej_vc[rs]
+        self.cr_tail[tracker, slot] = tails
+        self._cr_n[slot] += len(rs)
+
+    def _nic_step(self, t):
+        # 1) send last cycle's decision onto the injection wire
+        if self._pend_n:
+            self._pend_n = 0
+            rs = self.pend_valid.nonzero()[0]
+            self.pend_valid[:] = False
+            n = rs * P + LOCAL
+            self.fl_valid[n] = True
+            self.fl_pkt[n] = self.pend_pkt[rs]
+            self.fl_vc[n] = self.pend_vc[rs]
+            self._fl_n += len(rs)
+        # 2) generate traffic (batched PRBS draws) and submit
+        if self._sources_on:
+            inj = self._generate()
+            if len(inj):
+                self._submit_batch(inj, t)
+        # 3) VC-allocate at most one flit per backlogged NIC
+        if self._bl_any:
+            self._decide_all()
+
+    def _generate(self):
+        """The per-cycle injection decisions of every node at once."""
+        tstate = self.tstate
+        if self.cstate is None:
+            # Bernoulli fast path: one main-stream word per node
+            word, ns = _word24(tstate)
+            tstate[:] = ns
+            inject = word / 16777216.0 < self._packet_rate
+        else:
+            # modulated: main word only in positive-rate states, chain
+            # word only in states with a positive leave probability
+            ch = self.chstate
+            p = self.probs_tab[ch]
+            active = p > 0.0
+            word, ns = _word24(tstate)
+            np.copyto(tstate, ns, where=active)
+            inject = active & (word / 16777216.0 < p)
+            leave = self.leave_tab[ch]
+            cact = leave > 0.0
+            cword, cns = _word24(self.cstate)
+            np.copyto(self.cstate, cns, where=cact)
+            move = cact & (cword / 16777216.0 < leave)
+            np.copyto(ch, (ch + 1) % self.n_states, where=move)
+        return inject.nonzero()[0]
+
+    def _submit_batch(self, inj, t):
+        """Draw one message per injecting node and enqueue its flits.
+
+        Nodes are processed in ascending order (``nonzero`` order), so
+        message ids are handed out exactly as the oracle's node loop
+        does.  Every node draws the same *number* of words for a given
+        pattern, which is what makes the batch exact.
+        """
+        m = len(inj)
+        st = self.tstate[inj]
+        word, st = _word24(st)
+        pick = word / 16777216.0
+        ci = np.searchsorted(self._cum_arr, pick, side="right")
+        mcls = self._comp_mclass[ci]
+        nfl = self._comp_nflits[ci]
+        kind = self._pattern_kind
+        if kind == "table":
+            dest = self._dest_arr[inj]
+        elif kind == "uniform":
+            w2, st = _word24(st)
+            other = w2 % (self.R - 1)
+            dest = other + (other >= inj)
+        else:  # hotspot: two words per destination, both branches
+            w2, st = _word24(st)
+            w3, st = _word24(st)
+            hd = self._hot_arr[w3 % len(self._hot_arr)]
+            other = w3 % (self.R - 1)
+            dest = np.where(
+                w2 / 16777216.0 < self._hot_fraction,
+                hd,
+                other + (other >= inj),
+            )
+        self.tstate[inj] = st
+        pid0 = self._mcount
+        while pid0 + m > self._cap:
+            self._grow_tables()
+        pids = pid0 + np.arange(m)
+        self._mcount = pid0 + m
+        if self._o1turn:
+            rs_ = self.rstate[inj]
+            fb = ((rs_ >> 30) ^ (rs_ >> 27)) & 1
+            self.rstate[inj] = ((rs_ << 1) | fb) & _MASK31
+            self.p_ord[pids] = fb  # only consulted on the o1turn path
+            phase = fb
+        else:
+            phase = 0
+        self.p_dest[pids] = dest
+        self.p_gid[pids] = self.GROUP_ID[mcls, phase]
+        self.p_nflits[pids] = nfl
+        self.p_creation[pids] = t
+        self.p_completion[pids] = -1
+        self.n_sub[inj] += 1
+        self.backlog[inj] = True
+        self._bl_any = True
+        nmax = int(nfl.max())
+        while int(self.q_len[inj, mcls].max()) + nmax > self._qcap:
+            self._grow_queues()
+        if nmax == 1:
+            # single-flit fast path: one vector append per cycle
+            pos = (self.q_head[inj, mcls] + self.q_len[inj, mcls]) \
+                % self._qcap
+            self.q_pkt[inj, mcls, pos] = (pids << 2) | (_HEAD | _TAIL)
+            self.q_len[inj, mcls] += 1
+        else:
+            qcap = self._qcap
+            for j in range(m):
+                node = int(inj[j])
+                mc = int(mcls[j])
+                f = int(nfl[j])
+                base = int(pids[j]) << 2
+                head = int(self.q_head[node, mc])
+                length = int(self.q_len[node, mc])
+                for seq in range(f):
+                    flags = (_HEAD if seq == 0 else 0) \
+                        | (_TAIL if seq == f - 1 else 0)
+                    self.q_pkt[node, mc, (head + length + seq) % qcap] = \
+                        base | flags
+                self.q_len[node, mc] = length + f
+
+    def _grow_tables(self):
+        new = self._cap * 2
+        for name in ("p_dest", "p_ord", "p_gid", "p_nflits",
+                     "p_creation", "p_completion"):
+            old = getattr(self, name)
+            arr = np.zeros(new, dtype=np.int64)
+            arr[: self._cap] = old
+            setattr(self, name, arr)
+        self._cap = new
+
+    def _grow_queues(self):
+        old_cap = self._qcap
+        new_cap = old_cap * 2
+        # relinearise every ring so the new tail space is contiguous
+        order = (self.q_head[:, :, None] + np.arange(old_cap)) % old_cap
+        new_q = np.zeros((self.R, 2, new_cap), dtype=np.int64)
+        new_q[:, :, :old_cap] = np.take_along_axis(self.q_pkt, order, axis=2)
+        self.q_pkt = new_q
+        self.q_head[:] = 0
+        self._qcap = new_cap
+
+    def _decide_all(self):
+        """Mirror ``Nic._decide`` for every backlogged NIC at once:
+        class round robin, then head/body VC allocation."""
+        nodes = self.backlog.nonzero()[0]
+        rr = self.nrr[nodes]
+        trackers = self.N + nodes
+        remaining = np.ones(len(nodes), dtype=bool)
+        for i in (0, 1):
+            mc = (rr + i) & 1
+            cand = remaining & (self.q_len[nodes, mc] > 0)
+            ci = cand.nonzero()[0]
+            if len(ci) == 0:
+                continue
+            cn = nodes[ci]
+            cmc = mc[ci]
+            ctr = trackers[ci]
+            pkt = self.q_pkt[cn, cmc, self.q_head[cn, cmc]]
+            is_head = (pkt & _HEAD) != 0
+            if is_head.all():
+                # single-flit fast path: every queue head is a header
+                g = self.p_gid[pkt >> 2]
+                ok = self.fq_len[ctr, g] > 0
+                vc = np.zeros(len(ci), dtype=np.int64)
+                fi = ok.nonzero()[0]
+                if len(fi):
+                    ftr = ctr[fi]
+                    fg = g[fi]
+                    head = self.fq_head[ftr, fg]
+                    v = self.freeq[ftr, fg, head]
+                    self.fq_head[ftr, fg] = (head + 1) % self.GROUP_CAP[fg]
+                    self.fq_len[ftr, fg] -= 1
+                    self.owner[ftr, v] = pkt[fi] >> 2
+                    self.credits[ftr, v] -= 1
+                    vc[fi] = v
+                wi = fi
+                if len(wi) == 0:
+                    continue
+                self._decide_commit(rr, remaining, ci, cn, cmc,
+                                    pkt, vc, wi, i)
+                if not remaining.any():
+                    break
+                continue
+            ok = np.zeros(len(ci), dtype=bool)
+            vc = np.zeros(len(ci), dtype=np.int64)
+            hi = is_head.nonzero()[0]
+            if len(hi):
+                htr = ctr[hi]
+                g = self.p_gid[pkt[hi] >> 2]
+                free = self.fq_len[htr, g] > 0
+                fi = hi[free]
+                if len(fi):
+                    ftr = ctr[fi]
+                    fg = g[free]
+                    head = self.fq_head[ftr, fg]
+                    v = self.freeq[ftr, fg, head]
+                    self.fq_head[ftr, fg] = (head + 1) % self.GROUP_CAP[fg]
+                    self.fq_len[ftr, fg] -= 1
+                    self.owner[ftr, v] = pkt[fi] >> 2
+                    self.credits[ftr, v] -= 1
+                    ok[fi] = True
+                    vc[fi] = v
+            bi = (~is_head).nonzero()[0]
+            if len(bi):
+                btr = ctr[bi]
+                own = self.owner[btr] == (pkt[bi] >> 2)[:, None]
+                v = own.argmax(axis=1)
+                good = self.credits[btr, v] > 0
+                gi = bi[good]
+                if len(gi):
+                    self.credits[ctr[gi], v[good]] -= 1
+                    ok[gi] = True
+                    vc[gi] = v[good]
+            wi = ok.nonzero()[0]
+            if len(wi) == 0:
+                continue
+            self._decide_commit(rr, remaining, ci, cn, cmc, pkt, vc, wi, i)
+            if not remaining.any():
+                break
+        # a full fruitless scan leaves the rotation where it started.
+        # Drop satisfied NICs from the backlog eagerly (an empty-queue
+        # decide has no side effects, so pruning is invisible) — the
+        # steady-state backlog is then just this cycle's submitters
+        # plus genuinely blocked NICs.
+        still = self.q_len[nodes].any(axis=1)
+        self.backlog[nodes] = still
+        self._bl_any = bool(still.any())
+
+    def _decide_commit(self, rr, remaining, ci, cn, cmc, pkt, vc, wi, i):
+        """Pop the winners' queue heads and stage flit + lookahead."""
+        wn = cn[wi]
+        wmc = cmc[wi]
+        self.q_head[wn, wmc] = (self.q_head[wn, wmc] + 1) % self._qcap
+        self.q_len[wn, wmc] -= 1
+        wpkt = pkt[wi]
+        wvc = vc[wi]
+        if self._bypass:
+            n = wn * P + LOCAL
+            self.lv_valid[n] = True
+            self.lv_pkt[n] = wpkt
+            self.lv_vc[n] = wvc
+            self.n_las[wn] += 1
+            self._lv_n += len(wn)
+        self.pend_valid[wn] = True
+        self.pend_pkt[wn] = wpkt
+        self.pend_vc[wn] = wvc
+        self._pend_n += len(wn)
+        self.n_inj[wn] += 1
+        self.nrr[wn] = (rr[ci[wi]] + i + 1) & 1
+        remaining[ci[wi]] = False
+
+    def _st(self, t):
+        self._st_n = 0
+        ns = self.st_valid.nonzero()[0]
+        self.st_valid[:] = False
+        byp = self.st_bypass[ns]
+        pkt = np.empty(len(ns), dtype=np.int64)
+        bi = byp.nonzero()[0]
+        if len(bi):
+            nb = ns[bi]
+            pkt[bi] = self.latch_pkt[nb]
+            self.c_byp[nb] += 1
+        fi = (~byp).nonzero()[0]
+        if len(fi):
+            nn = ns[fi]
+            vcn = self.st_vc[nn]
+            # a granted buffered flit is always at its VC's head by the
+            # time its traversal fires (one ST per port per cycle)
+            h = self.bhead[nn, vcn]
+            pkt[fi] = self.buf_pkt[nn, vcn, h]
+            self.bhead[nn, vcn] = (h + 1) % self.D
+            self.bocc[nn, vcn] -= 1
+            self.c_br[nn] += 1
+            self._bocc_n -= len(nn)
+            self._gr_n -= len(nn)  # every buffered traversal was GRANTED
+        # one credit upstream per traversal (pop is unconditional for
+        # unicast: a granted flit always leaves its buffer/latch)
+        target = self.CRED_TARGET[ns]
+        slot = t & 1
+        self.cr_valid[target, slot] = True
+        self.cr_vc[target, slot] = self.st_vc[ns]
+        self.cr_tail[target, slot] = (pkt & _TAIL) != 0
+        self._cr_n[slot] += len(ns)
+        self.c_st[ns] += 1
+        # crossbar output: eject locally or forward on the mesh link
+        q = self.st_port[ns]
+        ovc = self.st_ovc[ns]
+        loc = q == LOCAL
+        li = loc.nonzero()[0]
+        if len(li):
+            re = ns[li] // P
+            self.ej_valid[re] = True
+            self.ej_pkt[re] = pkt[li]
+            self.ej_vc[re] = ovc[li]
+            self.c_ej[re] += 1
+            self._net_ejections += len(li)
+            self._ej_n += len(li)
+        wi = (~loc).nonzero()[0]
+        if len(wi):
+            nf = ns[wi]
+            dst = self.DST_IN[nf - nf % P + q[wi]]
+            self.fl_valid[dst] = True
+            self.fl_pkt[dst] = pkt[wi]
+            self.fl_vc[dst] = ovc[wi]
+            self.c_link[nf] += 1
+            self._fl_n += len(wi)
+
+    # ------------------------------------------------------------ mSA-II
+
+    def _check_resources(self, m, pids, heads):
+        """Vectorized ``_port_resources_ok``: heads need a free VC in
+        their (class, phase) group, bodies need their owner VC to have
+        a credit.  Returns the mask plus each body's owner VC so the
+        commit step need not search again."""
+        bvc = np.zeros(len(m), dtype=np.int64)
+        if heads.all():
+            # single-flit mixes never present body flits
+            return self.fq_len[m, self.p_gid[pids]] > 0, bvc
+        ok = np.empty(len(m), dtype=bool)
+        hi = heads.nonzero()[0]
+        if len(hi):
+            g = self.p_gid[pids[hi]]
+            ok[hi] = self.fq_len[m[hi], g] > 0
+        bi = (~heads).nonzero()[0]
+        if len(bi):
+            bm = m[bi]
+            own = self.owner[bm] == pids[bi, None]
+            hasv = own.any(axis=1)
+            v = own.argmax(axis=1)
+            ok[bi] = hasv & (self.credits[bm, v] > 0)
+            bvc[bi] = v
+        return ok, bvc
+
+    def _commit_alloc(self, m, pids, heads, bvc):
+        """``alloc_head`` / ``consume_body`` for winners (their out
+        ports are distinct, so the scatters cannot collide)."""
+        if heads.all():
+            g = self.p_gid[pids]
+            head = self.fq_head[m, g]
+            v = self.freeq[m, g, head]
+            self.fq_head[m, g] = (head + 1) % self.GROUP_CAP[g]
+            self.fq_len[m, g] -= 1
+            self.owner[m, v] = pids
+            self.credits[m, v] -= 1
+            return v
+        ovc = np.empty(len(m), dtype=np.int64)
+        hi = heads.nonzero()[0]
+        if len(hi):
+            hm = m[hi]
+            g = self.p_gid[pids[hi]]
+            head = self.fq_head[hm, g]
+            v = self.freeq[hm, g, head]
+            self.fq_head[hm, g] = (head + 1) % self.GROUP_CAP[g]
+            self.fq_len[hm, g] -= 1
+            self.owner[hm, v] = pids[hi]
+            self.credits[hm, v] -= 1
+            ovc[hi] = v
+        bi = (~heads).nonzero()[0]
+        if len(bi):
+            self.credits[m[bi], bvc[bi]] -= 1
+            ovc[bi] = bvc[bi]
+        return ovc
+
+    def _arbitrate(self, cand_n, cand_m):
+        """Matrix-arbitrate requests; returns the winner mask.
+
+        Mirrors ``MatrixArbiter.grant``: every *requested* output port
+        elects exactly one dominating input port and rotates it to the
+        lowest priority, whether or not the caller uses the grant.  The
+        matrix state is a total order throughout (initially i beats j
+        for i < j; the winner drops to the bottom while everyone else
+        keeps relative order), so the dominating requester is simply
+        the one with the minimum LRU rank.
+        """
+        ip = cand_n % P
+        r = self.arank[cand_m, ip]
+        best = self._best
+        best[cand_m] = 1 << 62
+        np.minimum.at(best, cand_m, r)
+        win = r == best[cand_m]
+        wm = cand_m[win]
+        self.arank[wm, ip[win]] = self._rank_next[wm]
+        self._rank_next[wm] += 1
+        return win
+
+    def _msa2(self, t):
+        used = self._used
+        used[:] = False
+        if self._bypass and self._la_n:
+            self._lookahead_pass(used)
+        if self._s2_n:
+            self._buffered_pass(used)
+
+    def _route_ports(self, nsel, pids):
+        """Output port of each candidate (route table lookup)."""
+        r = nsel // P
+        if self._o1turn:
+            return self.ROUTE[self.p_ord[pids], r, self.p_dest[pids]]
+        return self._route_fixed[r, self.p_dest[pids]]
+
+    def _lookahead_pass(self, used):
+        nsel = self.la_valid.nonzero()[0]
+        vcs = self.la_vc[nsel]
+        pkt = self.la_pkt[nsel]
+        pids = pkt >> 2
+        q = self._route_ports(nsel, pids)
+        m = nsel - nsel % P + q
+        heads = (pkt & _HEAD) != 0
+        # bypass preserves intra-VC order: the VC must be empty (the
+        # bypass latch is always clear by mSA-II — ST precedes it).
+        # Combined with the resource check into one filter round.
+        ok, bvc = self._check_resources(m, pids, heads)
+        ok &= self.bocc[nsel, vcs] == 0
+        oi = ok.nonzero()[0]
+        if len(oi) == 0:
+            return
+        nsel, vcs, pkt, pids, q, m, heads, bvc = (
+            nsel[oi], vcs[oi], pkt[oi], pids[oi], q[oi], m[oi],
+            heads[oi], bvc[oi],
+        )
+        win = self._arbitrate(nsel, m)
+        wi = win.nonzero()[0]
+        if len(wi) == 0:
+            return
+        nw = nsel[wi]
+        mw = m[wi]
+        qw = q[wi]
+        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi])
+        used[mw] = True
+        self._forward_la(mw, qw, pkt[wi], ovc)
+        self.st_valid[nw] = True
+        self.st_bypass[nw] = True
+        self.st_vc[nw] = vcs[wi]
+        self.st_port[nw] = qw
+        self.st_ovc[nw] = ovc
+        self._st_n += len(nw)
+        self.c_m2[nw] += 1
+
+    def _buffered_pass(self, used):
+        nsel = (self.s2_vc >= 0).nonzero()[0]
+        if self._bypass and self._la_n:
+            # the port's mSA-II mux selected the lookahead
+            nsel = nsel[~self.la_valid[nsel]]
+            if len(nsel) == 0:
+                return
+        vcs = self.s2_vc[nsel]
+        slots = self.s2_slot[nsel]
+        pkt = self.buf_pkt[nsel, vcs, slots]
+        pids = pkt >> 2
+        q = self._route_ports(nsel, pids)
+        m = nsel - nsel % P + q
+        heads = (pkt & _HEAD) != 0
+        ok, bvc = self._check_resources(m, pids, heads)
+        askable = ok & ~used[m]
+        # nothing available: release the S2 register so mSA-I can pick
+        # a different VC next cycle (no head-of-line squatting)
+        ri = (~askable).nonzero()[0]
+        if len(ri):
+            self.buf_stage[nsel[ri], vcs[ri], slots[ri]] = _ST_NONE
+            self.s2_vc[nsel[ri]] = -1
+            self._s2_n -= len(ri)
+        ai = askable.nonzero()[0]
+        if len(ai) == 0:
+            return
+        nsel, vcs, slots, pkt, pids, q, m, heads, bvc = (
+            nsel[ai], vcs[ai], slots[ai], pkt[ai], pids[ai], q[ai],
+            m[ai], heads[ai], bvc[ai],
+        )
+        win = self._arbitrate(nsel, m)
+        wi = win.nonzero()[0]
+        if len(wi) == 0:
+            return
+        nw = nsel[wi]
+        mw = m[wi]
+        qw = q[wi]
+        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi])
+        # unicast grants are always complete: mark GRANTED, free the S2
+        # register, schedule the traversal
+        self.buf_stage[nw, vcs[wi], slots[wi]] = _ST_GRANTED
+        self._gr_n += len(wi)
+        self.s2_vc[nw] = -1
+        self._s2_n -= len(wi)
+        if self._bypass:
+            self._forward_la(mw, qw, pkt[wi], ovc)
+        self.st_valid[nw] = True
+        self.st_bypass[nw] = False
+        self.st_vc[nw] = vcs[wi]
+        self.st_port[nw] = qw
+        self.st_ovc[nw] = ovc
+        self._st_n += len(nw)
+        self.c_m2[nw] += 1
+
+    def _forward_la(self, m, q, pkt, ovc):
+        """NRC + lookahead generation for granted non-local branches."""
+        fwd = (q != LOCAL).nonzero()[0]
+        if len(fwd) == 0:
+            return
+        mf = m[fwd]
+        dst = self.DST_IN[mf]
+        self.lv_valid[dst] = True
+        self.lv_pkt[dst] = pkt[fwd]
+        self.lv_vc[dst] = ovc[fwd]
+        self.c_las[mf] += 1
+        self._lv_n += len(fwd)
+
+    def _msa1(self, t):
+        ports = ((self.s2_vc < 0) & self.bocc.any(axis=1)).nonzero()[0]
+        if len(ports) == 0:
+            return
+        heads = self.bhead[ports]
+        occ = self.bocc[ports]
+        ar = np.arange(len(ports))
+        if self._gr_n == 0:
+            # no GRANTED flit anywhere: every occupied VC is eligible,
+            # and every selected port has one (bocc.any above)
+            elig = occ > 0
+            rank = (self._vcidx[None, :] - self.rrptr[ports][:, None]) \
+                % self.V
+            rank[~elig] = self.V
+            win = rank.argmin(axis=1)
+            slot = heads[ar, win]
+        else:
+            stage_h = self.buf_stage[
+                ports[:, None], self._vcidx[None, :], heads
+            ]
+            # a leading GRANTED flit (awaiting next cycle's traversal)
+            # is skipped by oldest_unrequested; anything behind it bids
+            granted = (stage_h == _ST_GRANTED) & (occ > 0)
+            elig = occ > granted
+            emask = elig.any(axis=1)
+            ei = emask.nonzero()[0]
+            if len(ei) == 0:
+                return
+            if len(ei) < len(ports):
+                ports = ports[ei]
+                heads = heads[ei]
+                granted = granted[ei]
+                elig = elig[ei]
+                ar = ar[: len(ei)]
+            rank = (self._vcidx[None, :] - self.rrptr[ports][:, None]) \
+                % self.V
+            rank[~elig] = self.V
+            win = rank.argmin(axis=1)
+            slot = (heads[ar, win] + granted[ar, win]) % self.D
+        self.buf_stage[ports, win, slot] = _ST_S2
+        self.s2_vc[ports] = win
+        self.s2_slot[ports] = slot
+        self.rrptr[ports] = (win + 1) % self.V
+        self._s2_n += len(ports)
+        self.c_m1[ports] += 1
+
+    # ------------------------------------------------------------------
+    # drain predicate and watchdog
+    # ------------------------------------------------------------------
+
+    def _quiet(self):
+        """Exact equivalent of ``MeshNetwork.quiescent``: no payload in
+        flight on any wire, no router-local work, no NIC backlog."""
+        return (
+            self._fl_n == 0 and self._lv_n == 0 and self._la_n == 0
+            and self._ej_n == 0 and self._st_n == 0 and self._pend_n == 0
+            and self._cr_n[0] == 0 and self._cr_n[1] == 0
+            and self._s2_n == 0 and self._bocc_n == 0
+            and not self.q_len.any()
+        )
+
+    def _check_watchdog(self):
+        if self._net_ejections != self._last_progress:
+            self._last_progress = self._net_ejections
+            self._watchdog_start = self.cycle
+            self._watchdog_armed = False
+        elif self.cycle - self._watchdog_start > WATCHDOG_CYCLES:
+            if self._quiet():
+                self._watchdog_armed = False
+            elif self._watchdog_armed:
+                raise SimulationStalled(self.cycle, WATCHDOG_CYCLES)
+            else:
+                self._watchdog_armed = True
+            self._watchdog_start = self.cycle
+
+    # ------------------------------------------------------------------
+    # measurement surface
+    # ------------------------------------------------------------------
+
+    def run(self, cycles):
+        step = self._step
+        for _ in range(cycles):
+            step()
+
+    def run_experiment(self, warmup=1_000, measure=10_000, drain=5_000):
+        """Byte-identical mirror of ``Simulator.run_experiment``."""
+        stop_reason = "completed"
+        try:
+            self.run(warmup)
+        except SimulationStalled:
+            stop_reason = "watchdog"
+        start_msgs = self._mcount
+        start_byp = int(self.c_byp.sum())
+        start_xin = int(self.c_st.sum())
+        start_ej = int(self.n_ej.sum())
+        if stop_reason == "completed":
+            try:
+                self.run(measure)
+            except SimulationStalled:
+                stop_reason = "watchdog"
+        end_ej = int(self.n_ej.sum())
+        end_msgs = self._mcount
+        # stop generating traffic, then drain
+        had_sources = self._sources_on
+        self._sources_on = False
+        drained = 0
+        if stop_reason == "completed":
+            try:
+                while drained < drain and not self._quiet():
+                    self._step()
+                    drained += 1
+            except SimulationStalled:
+                stop_reason = "watchdog"
+            else:
+                if drained >= drain and not self._quiet():
+                    stop_reason = "max-cycles"
+        self._sources_on = had_sources
+        delta_byp = int(self.c_byp.sum()) - start_byp
+        delta_xin = int(self.c_st.sum()) - start_xin
+        rate = (self._traffic.injection_rate
+                if self._traffic is not None else float("nan"))
+        return summarize_window(
+            self.cfg,
+            self.name,
+            rate,
+            measure,
+            self._message_views(start_msgs, end_msgs),
+            end_ej - start_ej,
+            delta_byp,
+            delta_xin,
+            stop_reason=stop_reason,
+        )
+
+    def activity(self):
+        """Aggregate router activity since construction (power models)."""
+        return self.network.total_router_activity()
+
+    # ------------------------------------------------------------------
+    # stats materialisation
+    # ------------------------------------------------------------------
+
+    def _message_views(self, start, end):
+        creation = self.p_creation
+        completion = self.p_completion
+        nflits = self.p_nflits
+        return [
+            _MsgView(int(creation[i]), int(completion[i]), int(nflits[i]))
+            for i in range(start, end)
+        ]
+
+    def _fold(self, arr):
+        return arr.reshape(self.R, P).sum(axis=1)
+
+    def _router_counters(self):
+        bw = self._fold(self.c_bw)
+        br = self._fold(self.c_br)
+        st = self._fold(self.c_st)
+        byp = self._fold(self.c_byp)
+        link = self._fold(self.c_link)
+        m1 = self._fold(self.c_m1)
+        m2 = self._fold(self.c_m2)
+        las = self._fold(self.c_las)
+        lar = self._fold(self.c_lar)
+        out = []
+        for r in range(self.R):
+            out.append(ActivityCounters(
+                buffer_writes=int(bw[r]),
+                buffer_reads=int(br[r]),
+                xbar_input_traversals=int(st[r]),
+                xbar_output_traversals=int(st[r]),
+                link_traversals=int(link[r]),
+                ejections=int(self.c_ej[r]),
+                bypasses=int(byp[r]),
+                msa1_grants=int(m1[r]),
+                msa2_grants=int(m2[r]),
+                la_sent=int(las[r]),
+                la_received=int(lar[r]),
+                credits_sent=int(st[r]),
+            ))
+        return out
+
+    def _nic_counters(self):
+        out = []
+        for r in range(self.R):
+            out.append(ActivityCounters(
+                injections=int(self.n_inj[r]),
+                ejected_flits=int(self.n_ej[r]),
+                messages_submitted=int(self.n_sub[r]),
+                la_sent=int(self.n_las[r]),
+            ))
+        return out

@@ -52,9 +52,32 @@ class SimulationStalled(RuntimeError):
 
 
 class Simulator:
-    """Drives a :class:`MeshNetwork` cycle by cycle."""
+    """Drives a :class:`MeshNetwork` cycle by cycle.
 
-    def __init__(self, config, traffic=None, name="", gated=True):
+    ``Simulator(...)`` is also the front door of the backend layer
+    (DESIGN.md §9): ``backend="object"`` (the default) builds this
+    object-per-flit loop, while any other registered name dispatches
+    to that backend's simulator factory — e.g. ``backend="array"``
+    returns a :class:`repro.noc.array_backend.ArraySimulator` with the
+    same constructor and measurement surface.
+    """
+
+    def __new__(cls, config=None, traffic=None, name="", gated=True,
+                backend="object"):
+        if cls is Simulator and backend != "object":
+            from repro.noc.backend import resolve_backend
+
+            factory = resolve_backend(backend)
+            # the factory's product is not a Simulator subclass, so
+            # Python skips Simulator.__init__ on the returned instance
+            return factory(config, traffic=traffic, name=name, gated=gated)
+        return super().__new__(cls)
+
+    #: registry name of this backend (DESIGN.md §9)
+    backend = "object"
+
+    def __init__(self, config, traffic=None, name="", gated=True,
+                 backend="object"):
         self.cfg = config
         self.name = name or ("proposed" if config.bypass else "baseline")
         self.network = MeshNetwork(config)

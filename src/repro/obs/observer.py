@@ -95,6 +95,12 @@ class Observer:
 
     def attach(self, sim):
         """Install probes into ``sim``; returns self for chaining."""
+        if getattr(sim, "backend", "object") != "object":
+            raise ValueError(
+                f'observability probes are object-only: backend='
+                f'{sim.backend!r} has no probe slots (see the support '
+                f'matrix in repro.noc.array_backend)'
+            )
         if self.sim is not None:
             raise RuntimeError("observer is already attached")
         if sim.obs is not None:

@@ -181,3 +181,91 @@ class TestDefaultNormalisation:
         clone = JobSpec.from_dict(json.loads(job.canonical_json()))
         assert clone == job
         assert clone.cache_key == job.cache_key
+
+
+class TestBackendIsNotAnIdentityAxis:
+    """The simulation backend is an *execution* detail (DESIGN.md §9):
+    equal jobs produce byte-identical stats on every backend that
+    accepts them, so the content address must never see it — not even
+    as an omitted-when-default key."""
+
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_default_encodings_have_no_backend_field(self, name):
+        factory, _ = PINNED[name]
+        data = json.loads(factory().canonical_json())
+        assert "backend" not in data
+
+    def test_array_backend_shares_the_pinned_content_address(self):
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        base = dict(
+            config=proposed_network(), mix=UNIFORM_UNICAST, rate=0.08
+        )
+        obj = JobSpec(**base)
+        arr = JobSpec(**base, backend="array")
+        assert arr.cache_key == obj.cache_key
+        assert "backend" not in json.loads(arr.canonical_json())
+        # but the worker payload does carry it (omitted-when-default),
+        # and deserializing the payload restores the selection
+        assert "backend" not in obj.to_payload()
+        assert arr.to_payload()["backend"] == "array"
+        assert JobSpec.from_dict(arr.to_payload()).backend == "array"
+
+    def test_object_cached_result_hits_for_an_array_job(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.executor import Executor
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        base = dict(
+            config=proposed_network(),
+            mix=UNIFORM_UNICAST,
+            rate=0.1,
+            warmup=50,
+            measure=150,
+            drain=200,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        ex = Executor(cache=cache)
+        stats = ex.run_one(JobSpec(**base))  # object backend, cached
+        assert ex.executed == 1
+        again = ex.run_one(JobSpec(**base, backend="array"))
+        assert ex.executed == 1  # cache hit: no second simulation
+        assert ex.cache_hits == 1
+        assert again.to_dict() == stats.to_dict()
+
+    def test_both_backends_produce_one_cache_entry(self, tmp_path):
+        # run the same point fresh on each backend against separate
+        # caches: byte-identical results under one content address
+        from repro.engine.cache import ResultCache
+        from repro.engine.executor import Executor
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        base = dict(
+            config=proposed_network(),
+            mix=UNIFORM_UNICAST,
+            rate=0.1,
+            warmup=50,
+            measure=150,
+            drain=200,
+        )
+        results = {}
+        for backend in ("object", "array"):
+            cache = ResultCache(tmp_path / backend)
+            Executor(cache=cache).run_one(JobSpec(**base, backend=backend))
+            entries = sorted(
+                p for p in (tmp_path / backend).iterdir()
+                if p.suffix == ".json"
+            )
+            assert len(entries) == 1
+            results[backend] = (entries[0].name, entries[0].read_bytes())
+        assert results["object"] == results["array"]
+
+    def test_unknown_backend_in_deserialized_payload_names_choices(self):
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        payload = JobSpec(
+            config=proposed_network(), mix=UNIFORM_UNICAST, rate=0.1
+        ).to_payload()
+        payload["backend"] = "fpga"
+        with pytest.raises(ValueError, match=r"fpga.*array.*object"):
+            JobSpec.from_dict(payload)

@@ -87,18 +87,18 @@ def test_verbosity_flag_works_after_the_subcommand(tmp_path, capsys):
     assert "last batch" in captured.err  # DEBUG detail
 
 
-def test_figure_fig5_process_backend(tmp_path, capsys):
+def test_figure_fig5_process_executor(tmp_path, capsys):
     captured = run_cli(
         capsys,
         "figure", "fig5",
         "--rates", "0.02,0.05",
         *FAST_WINDOW,
-        "--backend", "process", "--workers", "2",
+        "--executor", "process", "--workers", "2",
         "--cache-dir", str(tmp_path / "cache"),
     )
     assert "fig5" in captured.out
     assert "low_load_latency_reduction" in captured.out
-    assert "backend=process" in captured.err and "executed=4" in captured.err
+    assert "executor=process" in captured.err and "executed=4" in captured.err
 
 
 def test_figure_table1_prints_rows(capsys):
@@ -108,7 +108,7 @@ def test_figure_table1_prints_rows(capsys):
 
 
 def test_figure_warns_when_engine_flags_ignored(capsys):
-    assert main(["figure", "table1", "--backend", "process"]) == 0
+    assert main(["figure", "table1", "--executor", "process"]) == 0
     err = capsys.readouterr().err
     assert "ignored for table1" in err
 
@@ -187,7 +187,7 @@ def test_domain_errors_exit_cleanly(capsys):
     assert "repro: error:" in err and "injection rate" in err
     assert (
         main(
-            ["sweep", "--rates", "0.02", "--backend", "process",
+            ["sweep", "--rates", "0.02", "--executor", "process",
              "--workers", "0", "--no-cache"]
         )
         == 2

@@ -1,0 +1,199 @@
+"""Object-vs-array backend equivalence (DESIGN.md §9).
+
+The array backend's contract is *byte identity*: for every workload it
+accepts, ``Simulator(backend="array")`` must produce the same
+WindowStats bytes — and the same per-router and per-NIC activity
+counters — as the object-loop oracle.  These tests pin that contract
+across the {injection} × {routing} × {pattern} matrix named in the
+backend's support matrix, plus the adversarial axes the matrix hides
+(multi-flit bodies, the no-bypass baseline pipeline, hotspot's
+two-word destination draws, MMP's masked chain streams), and they pin
+the *rejection* surface: everything outside the support matrix must
+raise a clear ValueError instead of silently diverging.
+"""
+
+import json
+
+import pytest
+
+from repro.noc.backend import backend_names, resolve_backend
+from repro.noc.config import (
+    NocConfig,
+    proposed_vc_config,
+    routed_vc_config,
+)
+from repro.noc.simulator import Simulator
+from repro.noc.routing import make_routing
+from repro.traffic import SyntheticBurst, SyntheticTraffic
+from repro.traffic.mix import (
+    MIXED_TRAFFIC,
+    TrafficComponent,
+    TrafficMix,
+    UNIFORM_UNICAST,
+)
+from repro.noc.flit import MessageClass
+from repro.traffic.patterns import HotspotPattern, make_pattern
+from repro.traffic.processes import MMPProcess, make_process
+
+FAST = dict(warmup=100, measure=300, drain=400)
+
+#: unicast mix with 5-flit response bodies: exercises the body-flit
+#: credit path and the NIC's class round-robin, which the single-flit
+#: UNIFORM_UNICAST mix never touches
+MULTI_FLIT = TrafficMix(
+    "uni_multi",
+    (
+        TrafficComponent(
+            "unicast_request", 0.5, MessageClass.REQUEST, 1, broadcast=False
+        ),
+        TrafficComponent(
+            "unicast_response", 0.5, MessageClass.RESPONSE, 5, broadcast=False
+        ),
+    ),
+)
+
+
+def run_backend(backend, routing="xy", pattern="uniform",
+                injection="bernoulli", mix=UNIFORM_UNICAST, bypass=True,
+                rate=0.14, k=4, seed=11):
+    """One experiment window; returns (stats bytes, router counters,
+    NIC counters) so comparisons cover every observable surface."""
+    alg = make_routing(routing)
+    vcs = routed_vc_config() if routing == "o1turn" else proposed_vc_config()
+    cfg = NocConfig(k=k, vcs=vcs, bypass=bypass, routing=alg)
+    traffic = SyntheticTraffic(
+        mix,
+        injection_rate=rate,
+        seed=seed,
+        pattern=None if pattern == "uniform" else make_pattern(pattern),
+        process=None if injection == "bernoulli" else make_process(injection),
+    )
+    sim = Simulator(cfg, traffic=traffic, backend=backend)
+    stats = sim.run_experiment(**FAST)
+    return (
+        json.dumps(stats.to_dict(), sort_keys=True),
+        [s.as_dict() for s in sim.network.router_stats],
+        [s.as_dict() for s in sim.network.nic_stats],
+    )
+
+
+def assert_equivalent(**kwargs):
+    assert run_backend("object", **kwargs) == run_backend("array", **kwargs)
+
+
+class TestEquivalenceMatrix:
+    """The ISSUE's {bernoulli,onoff} × {xy,o1turn} × {uniform,
+    transpose,tornado} matrix, byte-identical on every surface."""
+
+    @pytest.mark.parametrize("injection", ["bernoulli", "onoff"])
+    @pytest.mark.parametrize("routing", ["xy", "o1turn"])
+    @pytest.mark.parametrize("pattern", ["uniform", "transpose", "tornado"])
+    def test_window_stats_and_counters_byte_identical(
+        self, injection, routing, pattern
+    ):
+        assert_equivalent(
+            routing=routing, pattern=pattern, injection=injection
+        )
+
+
+class TestEquivalenceEdges:
+    def test_yx_routing(self):
+        assert_equivalent(routing="yx", pattern="transpose")
+
+    def test_multi_flit_bodies(self):
+        assert_equivalent(mix=MULTI_FLIT, rate=0.2)
+
+    def test_no_bypass_baseline_pipeline(self):
+        assert_equivalent(bypass=False, rate=0.21, pattern="transpose")
+
+    def test_mmp_injection_with_hotspot_pattern(self):
+        # two-word destination draws + masked per-state chain streams
+        cfg = NocConfig(k=4)
+        results = []
+        for backend in ("object", "array"):
+            traffic = SyntheticTraffic(
+                UNIFORM_UNICAST,
+                injection_rate=0.14,
+                seed=11,
+                pattern=HotspotPattern(hot_nodes=(0, 5), fraction=0.3),
+                process=MMPProcess(),
+            )
+            sim = Simulator(cfg, traffic=traffic, backend=backend)
+            stats = sim.run_experiment(**FAST)
+            results.append(json.dumps(stats.to_dict(), sort_keys=True))
+        assert results[0] == results[1]
+
+    def test_saturated_8x8(self):
+        assert_equivalent(rate=0.21, k=8)
+
+    def test_identical_generators_chip_artifact(self):
+        cfg = NocConfig(k=4)
+        results = []
+        for backend in ("object", "array"):
+            traffic = SyntheticTraffic(
+                UNIFORM_UNICAST, 0.1, seed=7, identical_generators=True
+            )
+            sim = Simulator(cfg, traffic=traffic, backend=backend)
+            results.append(
+                json.dumps(
+                    sim.run_experiment(**FAST).to_dict(), sort_keys=True
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestBackendSelection:
+    def test_registry_names(self):
+        assert backend_names() == ("array", "object")
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match=r"array.*object"):
+            Simulator(NocConfig(k=4), backend="vector")
+
+    def test_resolve_unknown_names_available(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend("cuda")
+
+    def test_object_backend_is_default_class(self):
+        sim = Simulator(NocConfig(k=4))
+        assert type(sim) is Simulator
+        assert sim.backend == "object"
+
+    def test_array_backend_dispatches(self):
+        sim = Simulator(NocConfig(k=4), backend="array")
+        assert sim.backend == "array"
+        assert type(sim) is not Simulator
+
+
+class TestSupportMatrixRejections:
+    """Everything outside the support matrix fails loudly, never
+    silently diverges."""
+
+    def test_broadcast_mix_rejected(self):
+        sim = Simulator(NocConfig(k=4), backend="array")
+        with pytest.raises(ValueError, match="broadcast"):
+            sim.attach_traffic(SyntheticTraffic(MIXED_TRAFFIC, 0.05, seed=7))
+
+    def test_valiant_routing_rejected(self):
+        cfg = NocConfig(
+            k=4, vcs=routed_vc_config(), routing=make_routing("valiant")
+        )
+        with pytest.raises(ValueError, match="valiant"):
+            Simulator(cfg, backend="array")
+
+    def test_separate_st_lt_rejected(self):
+        cfg = NocConfig(k=4, bypass=False, separate_st_lt=True)
+        with pytest.raises(ValueError, match="separate_st_lt"):
+            Simulator(cfg, backend="array")
+
+    def test_faults_rejected(self):
+        from repro.noc.faults import BitErrorFaults
+
+        sim = Simulator(NocConfig(k=4), backend="array")
+        with pytest.raises(ValueError, match="fault"):
+            sim.attach_faults(BitErrorFaults(rate=0.01), seed=7)
+
+    def test_scripted_burst_source_rejected(self):
+        sim = Simulator(NocConfig(k=4), backend="array")
+        with pytest.raises(ValueError, match="SyntheticTraffic"):
+            sim.attach_traffic(SyntheticBurst({}))
