@@ -12,6 +12,15 @@ private chain stream, riding the same hot path), and a fully observed
 one (tracer + sampler + profiler attached) whose ``vs_plain_mid``
 ratio pins the probes-ON cost of the observability layer; results go
 to ``BENCH_core.json`` so the speedup trajectory is pinned across PRs.
+
+The array-backend points add the representation-change payoff
+(``vs_object_mid``, array kernel vs object oracle at mid load on
+4x4/8x8/16x16), the batched multi-seed payoff (``vs_serial_seeds``,
+one ``seeds=[...]`` batch of 8 replicas vs 8 serial single-seed array
+runs on the 8x8 fig5 mid point — the batch axis must amortise the
+kernel's fixed per-cycle costs at least 4x), and a gate-free 32x32
+absolute-throughput exhibit (the object oracle is too slow to
+interleave at that radix).
 ``--probe-gate`` separately enforces the zero-overhead-*off* half of
 the observability contract (DESIGN.md §7): attach/detach must leave no
 structural or timing residue on the hot loop.
@@ -49,10 +58,20 @@ from repro.traffic.mix import MIXED_TRAFFIC, UNIFORM_UNICAST
 from repro.traffic.processes import OnOffProcess
 
 #: cycle budgets of the array-backend points (the object side bounds
-#: the wall time: at 16x16 mid-load it runs ~50 cycles/s)
-ARRAY_BUDGETS = {4: 2_000, 8: 800, 16: 300}
-ARRAY_BUDGETS_QUICK = {4: 800, 8: 300, 16: 120}
-ARRAY_WARMUP = {4: 300, 8: 200, 16: 100}
+#: the wall time: at 16x16 mid-load it runs ~50 cycles/s); 32x32 is
+#: array-only (no object interleave), so its budget only bounds the
+#: kernel itself
+ARRAY_BUDGETS = {4: 2_000, 8: 800, 16: 300, 32: 150}
+ARRAY_BUDGETS_QUICK = {4: 800, 8: 300, 16: 120, 32: 60}
+ARRAY_WARMUP = {4: 300, 8: 200, 16: 100, 32: 80}
+
+#: the batched multi-seed point: replicas per batch and their seed
+#: schedule (the replica stride of repro.analysis.replicas, so the
+#: benchmark times exactly what ``--seeds 8`` runs)
+BATCH_REPLICAS = 8
+BATCH_SEEDS = [7 + 100_003 * i for i in range(BATCH_REPLICAS)]
+BATCH_BUDGET = 1_500
+BATCH_BUDGET_QUICK = 600
 
 #: Fig. 5 operating points for the 4x4 chip; low/mid/saturation for
 #: larger meshes are derived from the mix's theoretical rate grid.
@@ -104,6 +123,36 @@ def time_loop(k, rate, cycles, warmup, gated, routing=None, process=None,
     sim.run(cycles)
     elapsed = time.perf_counter() - start
     return cycles / elapsed
+
+
+def _seeds_sim(k, rate, seeds=None):
+    traffic = SyntheticTraffic(UNIFORM_UNICAST, rate, seed=7)
+    return Simulator(NocConfig(k=k), traffic, backend="array", seeds=seeds)
+
+
+def time_seeds_serial(k, rate, cycles, warmup):
+    """Aggregate cycles/sec of ``BATCH_REPLICAS`` single-seed array
+    runs, one after another (construction and warmup excluded from the
+    timed span, like :func:`time_loop`)."""
+    total = 0.0
+    for seed in BATCH_SEEDS:
+        traffic = SyntheticTraffic(UNIFORM_UNICAST, rate, seed=seed)
+        sim = Simulator(NocConfig(k=k), traffic, backend="array")
+        sim.run(warmup)
+        start = time.perf_counter()
+        sim.run(cycles)
+        total += time.perf_counter() - start
+    return BATCH_REPLICAS * cycles / total
+
+
+def time_seeds_batch(k, rate, cycles, warmup):
+    """Aggregate cycles/sec of one ``seeds=[...]`` batched array run:
+    every timed cycle advances all ``BATCH_REPLICAS`` lanes."""
+    sim = _seeds_sim(k, rate, seeds=BATCH_SEEDS)
+    sim.run(warmup)
+    start = time.perf_counter()
+    sim.run(cycles)
+    return BATCH_REPLICAS * cycles / (time.perf_counter() - start)
 
 
 def measure(quick=False, budgets=None, repeats=2):
@@ -261,6 +310,75 @@ def measure(quick=False, budgets=None, repeats=2):
             f"vs_object_mid={arr / obj:.2f}x",
             file=sys.stderr,
         )
+    # the batched multi-seed point (the batch-axis payoff): eight
+    # replicas of the fig5 mid point on 8x8, once as eight serial
+    # single-seed array runs and once as one ``seeds=[...]`` batch.
+    # The lanes share every fixed per-cycle cost (phase dispatch, mask
+    # construction, the numpy call overhead), so the aggregate ratio
+    # ``vs_serial_seeds`` is the amortisation payoff — CI-gated like
+    # the other ratios.  Both sides are best-of-``repeats`` and
+    # interleaved (serial, batch, serial, ...) for the usual noise
+    # discipline.
+    rate = FIG5_RATES["mid"]
+    default = BATCH_BUDGET_QUICK if quick else BATCH_BUDGET
+    budget = budgets.get(("8x8", "mid-seeds"), default) if budgets \
+        else default
+    serial_runs, batch_runs = [], []
+    for _ in range(repeats):
+        serial_runs.append(
+            time_seeds_serial(8, rate, budget, ARRAY_WARMUP[8])
+        )
+        batch_runs.append(time_seeds_batch(8, rate, budget, ARRAY_WARMUP[8]))
+    serial, batch = max(serial_runs), max(batch_runs)
+    points.append(
+        {
+            "mesh": "8x8",
+            "load": "mid-seeds",
+            "rate": round(rate, 6),
+            "cycles_timed": budget,
+            "batch_replicas": BATCH_REPLICAS,
+            "serial_cycles_per_sec": round(serial, 1),
+            "batch_cycles_per_sec": round(batch, 1),
+            "vs_serial_seeds": round(batch / serial, 3),
+        }
+    )
+    print(
+        f"8x8 {'mid-seeds':10s} rate={rate:.4f}  "
+        f"serial={serial:10,.0f} c/s  batch={batch:10,.0f} c/s  "
+        f"vs_serial_seeds={batch / serial:.2f}x",
+        file=sys.stderr,
+    )
+    # the 32x32 scaling exhibit, array-only: the object oracle runs
+    # ~10 cycles/s at this radix, far too slow to interleave, so the
+    # point records the kernel's absolute cycles/sec as trajectory
+    # data (human trend-reading) with no ratio gate
+    k = 32
+    mesh = "32x32"
+    rate = default_rates(UNIFORM_UNICAST, k * k, points=8)[3]
+    default = (ARRAY_BUDGETS_QUICK if quick else ARRAY_BUDGETS)[k]
+    budget = budgets.get((mesh, "mid-array"), default) if budgets \
+        else default
+    arr = max(
+        time_loop(
+            k, rate, budget, ARRAY_WARMUP[k], gated=True,
+            mix=UNIFORM_UNICAST, backend="array",
+        )
+        for _ in range(repeats)
+    )
+    points.append(
+        {
+            "mesh": mesh,
+            "load": "mid-array",
+            "rate": round(rate, 6),
+            "cycles_timed": budget,
+            "array_cycles_per_sec": round(arr, 1),
+        }
+    )
+    print(
+        f"{mesh} {'mid-array':10s} rate={rate:.4f}  "
+        f"array={arr:10,.0f} c/s  (object oracle too slow to interleave)",
+        file=sys.stderr,
+    )
     return {
         "schema": 1,
         "traffic": MIXED_TRAFFIC.name,
@@ -449,10 +567,11 @@ def fault_gate(overhead_limit=0.02, repeats=7):
 
 def check(result, baseline, tolerance):
     """Fail (return nonzero) if any point's gated/reference speedup —
-    or the o1turn point's ``vs_xy_mid`` / the on-off point's
-    ``vs_bernoulli_mid`` indirection ratio — regressed, or any
-    baseline point went unmeasured (a silently-vacuous gate is worse
-    than a failing one)."""
+    or any recorded layer/backend ratio (``vs_xy_mid``,
+    ``vs_bernoulli_mid``, ``vs_plain_mid``, ``vs_object_mid``,
+    ``vs_serial_seeds``) — regressed, or any baseline point went
+    unmeasured (a silently-vacuous gate is worse than a failing
+    one)."""
     expected = {(p["mesh"], p["load"]): p for p in baseline["points"]}
     failures = []
     covered = set()
@@ -463,7 +582,7 @@ def check(result, baseline, tolerance):
         covered.add(key)
         for metric in (
             "speedup", "vs_xy_mid", "vs_bernoulli_mid", "vs_plain_mid",
-            "vs_object_mid",
+            "vs_object_mid", "vs_serial_seeds",
         ):
             want = expected[key].get(metric)
             if want is None:

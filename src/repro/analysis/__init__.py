@@ -29,6 +29,12 @@ from repro.analysis.reliability import (
     reliability_vs_faults,
     reliability_vs_swing,
 )
+from repro.analysis.replicas import (
+    REPLICA_SEED_STRIDE,
+    aggregate_replicas,
+    replica_seeds,
+    t_critical_95,
+)
 from repro.analysis.saturation import find_saturation, saturation_throughput
 from repro.analysis.zero_load import zero_load_latency
 
@@ -36,6 +42,8 @@ __all__ = [
     "ChipPrototype",
     "MeshLimits",
     "PROTOTYPES",
+    "REPLICA_SEED_STRIDE",
+    "aggregate_replicas",
     "burstiness_timescale",
     "channel_load_map",
     "dispersion_index",
@@ -51,9 +59,11 @@ __all__ = [
     "reliability_figure",
     "reliability_vs_faults",
     "reliability_vs_swing",
+    "replica_seeds",
     "saturation_shift",
     "saturation_throughput",
     "state_flit_rates",
     "stationary_distribution",
+    "t_critical_95",
     "zero_load_latency",
 ]

@@ -46,7 +46,7 @@ from repro.engine.jobspec import (
     DEFAULT_WARMUP,
 )
 from repro.harness import experiments
-from repro.harness.sweep import default_rates, run_sweep
+from repro.harness.sweep import default_rates, run_sweep, run_sweep_replicated
 from repro.harness.tables import format_series
 from repro.noc.faults import (
     BitErrorFaults,
@@ -497,6 +497,19 @@ def _add_cycle_args(parser, defaults=True):
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
 
+def _add_seeds_arg(parser):
+    parser.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="replica seeds per operating point (--seed plus N-1 "
+        "strided follow-ons); results are reported as mean ± 95%% CI, "
+        "and on --backend array each point's replicas run as one "
+        "batched kernel pass (default: 1)",
+    )
+
+
 def _add_verbosity_args(parser, root=False):
     # the flags are accepted both before and after the subcommand; the
     # subparser copies use SUPPRESS so an absent flag does not clobber
@@ -570,6 +583,25 @@ def _log_engine_summary(executor):
         )
 
 
+def _print_replica_aggregates(named_aggs, rates, seeds):
+    """Mean ± 95% CI per rate, per series (the ``--seeds N`` output).
+
+    ``named_aggs`` maps series name to per-rate aggregate dicts from
+    :func:`repro.analysis.replicas.aggregate_replicas`.
+    """
+    print()
+    print(f"replicas: {seeds} seeds per point; mean ± 95% CI")
+    for name, aggs in named_aggs.items():
+        print(f"  {name}:")
+        print("        rate      latency (cyc)            Gb/s")
+        for rate, agg in zip(rates, aggs):
+            lat, thr = agg["avg_latency"], agg["throughput_gbps"]
+            print(
+                f"    {rate:>8g}  {lat['mean']:9.2f} ± {lat['ci95']:<7.2f}"
+                f"  {thr['mean']:8.1f} ± {thr['ci95']:<6.1f}"
+            )
+
+
 def _print_sweep(points, title):
     latency = {
         name: [(p.injection_rate, p.avg_latency) for p in series]
@@ -606,10 +638,7 @@ def cmd_sweep(args):
         injection=injection,
     )
     executor = _make_executor(args)
-    points = run_sweep(
-        config,
-        mix,
-        rates,
+    kwargs = dict(
         name=args.config,
         executor=executor,
         backend=args.backend,
@@ -621,11 +650,28 @@ def cmd_sweep(args):
         injection=injection,
         faults=faults,
     )
+    groups = None
+    if args.seeds > 1:
+        # rate-major / seed-minor: the serial executor folds each
+        # rate's replicas into one batched array-kernel pass
+        groups = run_sweep_replicated(config, mix, rates, args.seeds,
+                                      **kwargs)
+        points = [g[0] for g in groups]
+    else:
+        points = run_sweep(config, mix, rates, **kwargs)
     _print_sweep(
         {args.config: points},
         f"{args.config} / {mix.name} / {args.pattern} / {args.routing} / "
         f"{args.injection} / {args.faults} latency-throughput sweep",
     )
+    if groups is not None:
+        from repro.analysis.replicas import aggregate_replicas
+
+        _print_replica_aggregates(
+            {args.config: [aggregate_replicas(g) for g in groups]},
+            rates,
+            args.seeds,
+        )
     if faults is not None:
         print()
         print("reliability (per rate):")
@@ -674,13 +720,15 @@ def cmd_figure(args):
             or args.routing != "xy"
             or args.injection != "bernoulli"
             or args.backend != "object"
+            or args.seeds != 1
         ):
             logger.warning(
                 "the reliability figure fixes its own fault models and "
                 "uniform-XY-Bernoulli workload on the object backend "
                 "(faults are object-only); --faults/--pattern/--routing/"
-                "--injection/--backend are ignored (use --fault-counts/"
-                "--fault-swings/--link-error-rate to shape the grids)"
+                "--injection/--backend/--seeds are ignored (use "
+                "--fault-counts/--fault-swings/--link-error-rate to "
+                "shape the grids)"
             )
         kwargs = dict(seed=args.seed, executor=executor)
         if args.fault_counts is not None:
@@ -718,6 +766,8 @@ def cmd_figure(args):
             routing=_make_routing(args),
             injection=_make_injection(args),
         )
+        if args.seeds > 1:
+            kwargs["seeds"] = args.seeds
         if args.rates is not None:
             kwargs["rates"] = args.rates
         for attr in ("warmup", "measure", "drain"):
@@ -733,6 +783,15 @@ def cmd_figure(args):
         for key, value in summary.items():
             shown = f"{value:.4g}" if isinstance(value, float) else value
             print(f"{key:32s}: {shown}")
+        if "proposed_replicas" in result:
+            _print_replica_aggregates(
+                {
+                    name: result[f"{name}_replicas"]
+                    for name in ("proposed", "baseline")
+                },
+                result["rates"],
+                result["seeds"],
+            )
         _log_engine_summary(executor)
     else:
         engine_flags = (
@@ -744,6 +803,7 @@ def cmd_figure(args):
         )
         window_flags = (
             args.rates is not None
+            or args.seeds != 1
             or args.warmup is not None
             or args.measure is not None
             or args.drain is not None
@@ -984,6 +1044,7 @@ def build_parser():
     _add_injection_args(sweep)
     _add_fault_args(sweep)
     _add_cycle_args(sweep, defaults=True)
+    _add_seeds_arg(sweep)
     _add_engine_args(sweep)
     _add_verbosity_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
@@ -1024,6 +1085,7 @@ def build_parser():
     _add_injection_args(figure)
     _add_fault_args(figure)
     _add_cycle_args(figure, defaults=False)
+    _add_seeds_arg(figure)
     _add_engine_args(figure)
     _add_verbosity_args(figure)
     figure.set_defaults(func=cmd_figure)

@@ -20,6 +20,7 @@ Two backends ship:
 
 from __future__ import annotations
 
+import json
 import logging
 import multiprocessing
 import os
@@ -56,7 +57,23 @@ class SerialBackend:
     name = "serial"
 
     def run(self, jobs):
-        return [job.run() for job in jobs]
+        from repro.noc.backend import resolve_backend
+
+        out = []
+        for job in jobs:
+            # an unknown backend name (a sick deserialized payload)
+            # surfaces as a structured failure naming the job, not as
+            # a traceback out of the whole batch; workload-axis
+            # rejections still raise like any other bad request
+            try:
+                resolve_backend(job.backend)
+            except ValueError as exc:
+                out.append(JobFailure(
+                    error=f"job {job.cache_key[:12]}: {exc}", attempts=1
+                ))
+                continue
+            out.append(job.run())
+        return out
 
     def run_profiled(self, jobs):
         """Like :meth:`run`, returning ``(stats, telemetry)`` pairs."""
@@ -297,7 +314,7 @@ class Executor:
             fresh = [stats for stats, _telemetry in pairs]
             telemetries = [telemetry for _stats, telemetry in pairs]
         else:
-            fresh = self.backend.run(pending)
+            fresh = self._run_pending(pending)
         if len(fresh) != len(pending):
             raise RuntimeError(
                 f"backend {getattr(self.backend, 'name', self.backend)!r} "
@@ -346,6 +363,46 @@ class Executor:
             len(jobs), len(jobs) - len(pending), len(pending),
             self.last_batch["backend"], wall,
         )
+        return results
+
+    def _run_pending(self, pending):
+        """Dispatch cache misses, batching replica groups on the way.
+
+        Serial array-backend fault-free jobs that differ *only* by seed
+        run as one batched kernel pass (:meth:`JobSpec.run_batch`); the
+        fan-in yields one ordinary per-seed result per job, so the
+        caller stores each lane under its normal single-seed content
+        address — batching, like backend, never enters job identity.
+        Everything else (process pools, object-backend jobs, singleton
+        groups) takes the plain backend path.
+        """
+        if getattr(self.backend, "name", "") != "serial" \
+                or len(pending) < 2:
+            return self.backend.run(pending)
+        groups = {}
+        for i, job in enumerate(pending):
+            if job.backend == "array" and job.faults is None:
+                payload = job.to_payload()
+                del payload["seed"]
+                key = json.dumps(payload, sort_keys=True)
+            else:
+                key = i  # unique key: never grouped
+            groups.setdefault(key, []).append(i)
+        results = [None] * len(pending)
+        solo = [i for idxs in groups.values() if len(idxs) < 2
+                for i in idxs]
+        for i, stats in zip(
+            solo, self.backend.run([pending[i] for i in solo])
+        ):
+            results[i] = stats
+        for idxs in groups.values():
+            if len(idxs) < 2:
+                continue
+            lanes = pending[idxs[0]].run_batch(
+                [pending[i].seed for i in idxs]
+            )
+            for i, stats in zip(idxs, lanes):
+                results[i] = stats
         return results
 
     def run_one(self, job):

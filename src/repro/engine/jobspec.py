@@ -177,7 +177,7 @@ class JobSpec:
 
     # ----------------------------------------------------------- execution
 
-    def _simulator(self):
+    def _simulator(self, seeds=None):
         traffic = SyntheticTraffic(
             self.mix,
             self.rate,
@@ -186,7 +186,8 @@ class JobSpec:
             pattern=self.pattern,
             process=self.injection,
         )
-        sim = Simulator(self.config, name=self.name, backend=self.backend)
+        sim = Simulator(self.config, name=self.name, backend=self.backend,
+                        seeds=seeds)
         if self.faults is not None:
             # before the traffic: a hard model swaps the routing
             # runtime, which attach_traffic then validates against
@@ -197,6 +198,25 @@ class JobSpec:
     def run(self):
         """Simulate this point on a fresh network; returns WindowStats."""
         return self._simulator().run_experiment(
+            warmup=self.warmup, measure=self.measure, drain=self.drain
+        )
+
+    def run_batch(self, seeds):
+        """Simulate this point once per seed in one batched kernel pass.
+
+        Requires ``backend="array"`` (the batch axis lives in the
+        struct-of-arrays kernel).  Returns one :class:`WindowStats` per
+        seed, in order, each byte-identical to ``replace(self,
+        seed=s).run()`` — batching is an execution detail, never an
+        identity axis, so callers (the Executor) cache each lane under
+        its ordinary single-seed content address.
+        """
+        if self.faults is not None:
+            raise ValueError(
+                "batched multi-seed runs are fault-free only (faults "
+                "are object-backend-only)"
+            )
+        return self._simulator(seeds=list(seeds)).run_experiment_batch(
             warmup=self.warmup, measure=self.measure, drain=self.drain
         )
 

@@ -32,6 +32,7 @@ from repro.engine import (
     DEFAULT_SEED,
     DEFAULT_WARMUP,
 )
+from repro.analysis.replicas import aggregate_replicas
 from repro.harness.sweep import default_rates, run_sweep_batch
 from repro.noc.metrics import aggregate
 from repro.noc.simulator import Simulator
@@ -93,17 +94,36 @@ def table4_area():
 # ---------------------------------------------------------------- figures
 
 
-def _paired_sweeps(mix, rates, executor=None, routing=None, **kwargs):
+def _paired_sweeps(mix, rates, executor=None, routing=None, seeds=1,
+                   **kwargs):
     """Proposed + baseline sweeps, submitted as one engine batch so a
     process-pool backend can overlap the two.  ``routing`` swaps the
     unicast routing algorithm into both configs (multicast trees stay
-    XY — the baseline expands broadcasts into unicasts anyway)."""
+    XY — the baseline expands broadcasts into unicasts anyway);
+    ``seeds`` runs that many replicas per rate (see
+    :func:`~repro.harness.sweep.run_sweep_batch`)."""
     configs = {"proposed": proposed_network(), "baseline": baseline_network()}
     if routing is not None:
         configs = {
             name: cfg.with_(routing=routing) for name, cfg in configs.items()
         }
-    return run_sweep_batch(configs, mix, rates, executor=executor, **kwargs)
+    return run_sweep_batch(
+        configs, mix, rates, executor=executor, replicas=seeds, **kwargs
+    )
+
+
+def _fold_replicas(result, sweeps, seeds):
+    """Fan a replicated sweep dict into the figure result: the plain
+    ``proposed``/``baseline`` series stay the base-seed runs (so every
+    downstream consumer — ``summarize_sweeps``, the benchmarks — sees
+    exactly what a ``seeds=1`` run produces), and per-rate mean/std/CI
+    aggregates land next to them under ``*_replicas``."""
+    for name in ("proposed", "baseline"):
+        groups = sweeps[name]
+        result[name] = [g[0] for g in groups]
+        result[f"{name}_replicas"] = [aggregate_replicas(g) for g in groups]
+    result["seeds"] = seeds
+    return result
 
 
 def fig5_mixed_traffic(
@@ -117,6 +137,7 @@ def fig5_mixed_traffic(
     pattern=None,
     routing=None,
     injection=None,
+    seeds=1,
 ):
     """Fig. 5: latency vs injection for mixed traffic at 1 GHz.
 
@@ -132,7 +153,11 @@ def fig5_mixed_traffic(
     :class:`~repro.traffic.processes.InjectionProcess` — bursty
     processes offer the same mean load but reach saturation earlier);
     the limit lines are only exact for the uniform-XY-Bernoulli
-    default.
+    default.  ``seeds`` runs each rate under that many replica seeds
+    (cheap on ``backend="array"``, which folds them into one batched
+    kernel pass): the ``proposed``/``baseline`` series stay the
+    base-seed runs, and per-rate mean/std/95%-CI aggregates appear
+    under ``proposed_replicas``/``baseline_replicas``.
     """
     lim = MeshLimits(4)
     if rates is None:
@@ -155,6 +180,7 @@ def fig5_mixed_traffic(
         executor=executor,
         backend=backend,
         routing=routing,
+        seeds=seeds,
         warmup=warmup,
         measure=measure,
         drain=drain,
@@ -162,22 +188,24 @@ def fig5_mixed_traffic(
         pattern=pattern,
         injection=injection,
     )
-    proposed, baseline = sweeps["proposed"], sweeps["baseline"]
     weights = {c.name: c.weight for c in MIXED_TRAFFIC.components}
     latency_limit = (
         weights["broadcast_request"] * lim.latency_limit("broadcast")
         + weights["unicast_request"] * lim.latency_limit("unicast")
         + weights["unicast_response"] * (lim.latency_limit("unicast") + 4)
     )
-    return {
+    result = {
         "traffic": "mixed",
         "rates": list(rates),
-        "proposed": proposed,
-        "baseline": baseline,
+        "proposed": sweeps["proposed"],
+        "baseline": sweeps["baseline"],
         "latency_limit_cycles": latency_limit,
         "throughput_limit_gbps": lim.mix_throughput_limit_gbps(MIXED_TRAFFIC),
         "saturation_rate_limit": lim.mix_saturation_rate(MIXED_TRAFFIC),
     }
+    if seeds > 1:
+        _fold_replicas(result, sweeps, seeds)
+    return result
 
 
 def fig13_broadcast_traffic(
@@ -191,6 +219,7 @@ def fig13_broadcast_traffic(
     pattern=None,
     routing=None,
     injection=None,
+    seeds=1,
 ):
     """Fig. 13 / Appendix D: broadcast-only latency vs injection.
 
@@ -232,22 +261,25 @@ def fig13_broadcast_traffic(
         rates,
         executor=executor,
         backend=backend,
+        seeds=seeds,
         warmup=warmup,
         measure=measure,
         drain=drain,
         seed=seed,
         injection=injection,
     )
-    proposed, baseline = sweeps["proposed"], sweeps["baseline"]
-    return {
+    result = {
         "traffic": "broadcast_only",
         "rates": list(rates),
-        "proposed": proposed,
-        "baseline": baseline,
+        "proposed": sweeps["proposed"],
+        "baseline": sweeps["baseline"],
         "latency_limit_cycles": lim.latency_limit("broadcast"),
         "throughput_limit_gbps": lim.mix_throughput_limit_gbps(BROADCAST_ONLY),
         "saturation_rate_limit": lim.mix_saturation_rate(BROADCAST_ONLY),
     }
+    if seeds > 1:
+        _fold_replicas(result, sweeps, seeds)
+    return result
 
 
 def summarize_sweeps(result):

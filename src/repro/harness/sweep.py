@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.replicas import replica_seeds
 from repro.engine import (
     DEFAULT_DRAIN,
     DEFAULT_MEASURE,
@@ -72,27 +73,69 @@ def run_sweep(config, mix, rates, name="", executor=None, **kwargs):
     return executor.run(jobs)
 
 
-def run_sweep_batch(named_configs, mix, rates, executor=None, **kwargs):
+def run_sweep_replicated(config, mix, rates, replicas, name="",
+                         executor=None, seed=DEFAULT_SEED, **kwargs):
+    """One sweep, ``replicas`` seeds per rate, as a single engine batch.
+
+    The seed schedule is :func:`repro.analysis.replicas.replica_seeds`
+    (replica 0 is the base seed), and jobs are submitted rate-major /
+    seed-minor — consecutive jobs differ only by seed, so a serial
+    executor over the array backend folds each rate's replicas into
+    one batched kernel pass while every result is still cached under
+    its ordinary single-seed content address.  Returns a list (in rate
+    order) of per-replica ``WindowStats`` lists (in seed order); feed
+    each group to :func:`repro.analysis.replicas.aggregate_replicas`.
+    """
+    seeds = replica_seeds(seed, replicas)
+    jobs = [
+        JobSpec(config=config, mix=mix, rate=rate, name=name, seed=s,
+                **kwargs)
+        for rate in rates
+        for s in seeds
+    ]
+    if executor is None:
+        executor = Executor()
+    results = executor.run(jobs)
+    n = len(seeds)
+    return [results[i * n : (i + 1) * n] for i in range(len(rates))]
+
+
+def run_sweep_batch(named_configs, mix, rates, executor=None, replicas=1,
+                    seed=DEFAULT_SEED, **kwargs):
     """Run one sweep per named config as a *single* engine batch.
 
     All points of all sweeps are independent, so submitting them
     together lets a process-pool backend overlap the sweeps and pay
     pool start-up once, instead of serialising one sweep after the
     other.  Returns ``{name: [WindowStats in rate order]}``.
+
+    With ``replicas > 1`` each rate runs once per seed of
+    :func:`~repro.analysis.replicas.replica_seeds` (rate-major /
+    seed-minor, so serial array-backend replicas batch into one kernel
+    pass) and each series entry is the per-replica list instead of a
+    single WindowStats.
     """
     items = list(named_configs.items())
+    seeds = replica_seeds(seed, replicas)
     jobs = [
-        JobSpec(config=cfg, mix=mix, rate=rate, name=name, **kwargs)
+        JobSpec(config=cfg, mix=mix, rate=rate, name=name, seed=s, **kwargs)
         for name, cfg in items
         for rate in rates
+        for s in seeds
     ]
     if executor is None:
         executor = Executor()
     results = executor.run(jobs)
-    n = len(rates)
-    return {
-        name: results[i * n : (i + 1) * n] for i, (name, _) in enumerate(items)
-    }
+    n = len(rates) * len(seeds)
+    out = {}
+    for i, (name, _) in enumerate(items):
+        block = results[i * n : (i + 1) * n]
+        groups = [
+            block[j * len(seeds) : (j + 1) * len(seeds)]
+            for j in range(len(rates))
+        ]
+        out[name] = [g[0] for g in groups] if replicas == 1 else groups
+    return out
 
 
 def default_rates(mix, num_nodes, points=8, headroom=1.15, pattern=None,

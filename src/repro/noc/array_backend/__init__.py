@@ -9,17 +9,30 @@ equivalence suite in ``tests/noc/test_array_backend.py`` asserts
 byte-identical WindowStats and per-router counters on every supported
 workload axis.
 
+Every array also carries a leading *batch* axis: ``ArraySimulator(...,
+seeds=[...])`` lays out ``B`` replica simulations lane by lane (lane
+``b`` owns routers ``[b*R, (b+1)*R)`` in the flattened index space)
+and advances all of them in the same vectorized pass, so ``N`` seeds
+cost one kernel dispatch per cycle instead of ``N``.  Lanes share the
+static route/group tables and nothing else; lane ``b`` of a batched
+run is byte-identical to a single-seed run with that seed.
+
 Support matrix (anything outside raises a clear ``ValueError``):
 
 ==================  ==========================================
 axis                 supported by ``backend="array"``
 ==================  ==========================================
-traffic mixes        unicast-only (broadcasts need the XY-tree
-                     fork path of the object backend)
-routing              xy, yx, o1turn (valiant's en-route header
-                     rewrite is object-only)
+traffic mixes        unicast, plus XY-tree broadcast/multicast
+                     on ``multicast=True`` configs (multi-flit
+                     broadcast bodies and the ``multicast=False``
+                     per-destination replication fallback are
+                     object-only)
+routing              xy, yx, o1turn, valiant (yx rejects
+                     multicast mixes: the trees are XY-only)
 patterns             all registered patterns
 injection processes  all (bernoulli, onoff, mmp)
+batching             ``seeds=[...]`` runs N replica lanes in one
+                     pass (object backend is one replica per run)
 pipeline             combined ST+LT only (``separate_st_lt``
                      is object-only)
 faults               object-only

@@ -2,14 +2,20 @@
 
 Layout
 ------
-Routers are flattened: with ``R = k*k`` routers and ``P = 5`` ports,
-input port ``p`` of router ``r`` is flat index ``n = r*P + p`` and the
-matching output port is the same flat index on the output side.  Every
-piece of per-port pipeline state — VC buffers, the S2 outport-request
-register, the scheduled-ST register, lookahead and bypass latches —
-is a preallocated numpy array over ``n`` (and ``[n, vc, slot]`` for
-the buffers).  Credit trackers are unified: tracker ``m < R*P`` is
-router output port ``m`` and tracker ``R*P + r`` is NIC ``r``.
+Routers are flattened: with ``R = k*k`` routers per replica and ``P =
+5`` ports, input port ``p`` of router ``r`` is flat index ``n = r*P +
+p`` and the matching output port is the same flat index on the output
+side.  A leading **batch axis** turns one kernel pass into ``B``
+independent replica simulations (same config, different traffic
+seeds): lane ``b`` owns global nodes ``[b*R, (b+1)*R)`` and global
+ports ``[b*R*P, (b+1)*R*P)``, so every per-port array is simply ``B``
+times longer and every vectorized phase sweeps all replicas at once.
+Links and credit returns never cross a lane boundary (the static
+``DST_IN``/``CRED_TARGET`` tables are built per lane and offset), so
+lane ``b`` of a batched run is bit-for-bit the single-seed simulation
+of its seed.  Credit trackers are unified: tracker ``m < B*R*P`` is
+router output port ``m`` and tracker ``B*R*P + g`` is the NIC of
+global node ``g``.
 
 Channels collapse into receiver-indexed registers.  Flit, lookahead,
 injection and ejection wires have delay one and at most one payload
@@ -19,18 +25,46 @@ so a single slot per receiver is exact.  Credit wires have delay two
 and at most one credit per wire per cycle, so a two-slot ping-pong
 indexed by ``arrival_cycle % 2`` is exact for the same reason.
 
+Valiant routing
+---------------
+A packet carries a second header word: ``p_w[pid]`` is the random
+intermediate router (``-1`` once consumed, or when the draw landed on
+the source and the packet was born in phase 1).  The packed flit word
+grows an ``_ADV`` bit — the vectorized mirror of the object loop's
+``RouteState.advance``: every flit arrival at its waypoint router
+sets the bit *before* the route is derived, the lookahead pass
+mirrors the advance one cycle ahead so the pre-allocated route and VC
+phase match the flit exactly, and downstream VC allocation draws from
+the ``(class, phase)`` partition selected by the advanced bit.
+
+Multicast
+---------
+Broadcast mixes compile to XY multicast trees: ``MC_PORTS[src, r]``
+is the output-port bitmask of the tree rooted at ``src`` as it passes
+router ``r`` (precomputed from the same ``_xy_partition`` the object
+router calls per flit).  mSA-II request vectors become a ``(candidate,
+port)`` boolean matrix — the matrix arbiter generalises unchanged —
+and the crossbar forks a winning flit to every granted branch as a
+masked scatter over the port axis.  A partially granted multicast
+keeps its buffer slot and re-asks for the remaining branches
+(``mc_granted`` bitmask per input VC), traversing the crossbar once
+per grant round exactly like the object router's repeated ``STOp``\\ s;
+lookahead bypass stays all-or-nothing.
+
 Performance notes
 -----------------
 At small radix the cost of a numpy pass is dominated by per-op
 dispatch, not element count, so the kernel is written to minimise op
-*count*: flit identity travels as one packed word (``pid << 2 |
-flags``), emptiness checks are plain Python integers maintained at the
-mutation sites instead of array scans, activity counters are per-port
-arrays bumped with unique-index fancy adds (every event set touches
-each port at most once per cycle — a pinned pipeline invariant) and
-folded to per-router view lazily, and the NIC front end (injection
-draws, VC allocation, class round-robin) runs as vectorized passes
-over numpy ring queues.
+*count*: flit identity travels as one packed word (``pid << 3 |
+adv | tail | head``), emptiness checks are plain Python integers
+maintained at the mutation sites instead of array scans, activity
+counters are per-port arrays bumped with unique-index fancy adds
+(every event set touches each port at most once per cycle — a pinned
+pipeline invariant) and folded to per-router view lazily, and the NIC
+front end (injection draws, VC allocation, class round-robin) runs as
+vectorized passes over numpy ring queues.  Batching multiplies the
+work per pass without adding passes — which is the whole point: ``B``
+replicas cost roughly one replica's dispatch overhead.
 
 Draw-stream contract
 --------------------
@@ -39,17 +73,19 @@ same two-shift/xor ``next_word(24)`` batch step as
 :class:`repro.traffic.prbs.PRBSGenerator`, under masks that replicate
 the object backend's *conditional* draws exactly: a zero-rate chain
 state consumes no main-stream word, a ``leave == 0`` state consumes
-no chain word, deterministic patterns consume no destination word and
-o1turn consumes one routing-stream bit per unicast packet header.
-Initial states are produced by the tested scalar constructors
-(seed diffusion, the stationary-distribution chain draw), then lifted
-into the arrays — so the very first draw already matches the oracle.
+no chain word, deterministic patterns consume no destination word,
+broadcast packets consume no destination and no routing word, o1turn
+consumes one routing-stream bit and valiant one routing-stream word
+per *unicast* packet header.  Initial states are produced by the
+tested scalar constructors (seed diffusion, the stationary-
+distribution chain draw), then lifted into the arrays — so the very
+first draw already matches the oracle.
 
 Everything observable — WindowStats, per-router and per-NIC
 ActivityCounters, stop reasons, watchdog behaviour — is byte-identical
 to ``backend="object"`` for every workload this kernel accepts; the
 equivalence suite pins that claim across the injection x routing x
-pattern matrix.
+pattern matrix, including batch-lane extraction.
 """
 
 from __future__ import annotations
@@ -58,21 +94,27 @@ import numpy as np
 
 from repro.noc.metrics import ActivityCounters, summarize_window
 from repro.noc.ports import EAST, LOCAL, NORTH, NUM_PORTS, OPPOSITE, SOUTH, WEST
-from repro.noc.routing import _ROUTING_STREAM_SALT, coords, node_at
+from repro.noc.routing import (
+    _ROUTING_STREAM_SALT,
+    _xy_partition,
+    coords,
+    next_router,
+    node_at,
+)
 from repro.noc.simulator import WATCHDOG_CYCLES, SimulationStalled
 from repro.traffic.prbs import PRBSGenerator, salted_stream_seed
 
 P = NUM_PORTS
 _MASK31 = (1 << 31) - 1
-#: packed flit word: ``pid << 2 | flags`` with HEAD/TAIL flag bits
+#: packed flit word: ``pid << 3 | flags`` with HEAD/TAIL/ADV flag bits
 _HEAD = 1
 _TAIL = 2
+_ADV = 4  # valiant header advanced past its intermediate waypoint
 #: buf_stage encoding (mirrors Flit.stage None / "S2" / "GRANTED")
 _ST_NONE, _ST_S2, _ST_GRANTED = 0, 1, 2
 
-#: routing algorithms the kernel can compile (valiant rewrites headers
-#: en route, which only the object backend models)
-_SUPPORTED_ROUTING = ("o1turn", "xy", "yx")
+#: routing algorithms the kernel can compile
+_SUPPORTED_ROUTING = ("o1turn", "valiant", "xy", "yx")
 
 
 def _unsupported(what):
@@ -93,13 +135,16 @@ class _MsgView:
     """Lightweight stand-in for :class:`repro.noc.flit.Message` with
     exactly the surface :func:`summarize_window` consumes."""
 
-    __slots__ = ("creation_cycle", "completion_cycle", "flits_per_packet")
-    is_multicast = False
+    __slots__ = (
+        "creation_cycle", "completion_cycle", "flits_per_packet",
+        "is_multicast",
+    )
 
-    def __init__(self, creation, completion, flits):
+    def __init__(self, creation, completion, flits, mcast=False):
         self.creation_cycle = creation
         self.completion_cycle = None if completion < 0 else completion
         self.flits_per_packet = flits
+        self.is_multicast = mcast
 
     @property
     def complete(self):
@@ -111,10 +156,15 @@ class _MsgView:
 
 
 class _ArrayNetwork:
-    """Stats facade matching the ``Simulator.network`` surface."""
+    """Stats facade matching the ``Simulator.network`` surface.
 
-    def __init__(self, sim):
+    For a batched simulator this is a *per-lane* view; plain
+    ``sim.network`` is lane 0 and ``sim.lane_network(b)`` the rest.
+    """
+
+    def __init__(self, sim, lane=0):
         self._sim = sim
+        self._lane = lane
 
     @property
     def cfg(self):
@@ -126,19 +176,24 @@ class _ArrayNetwork:
 
     @property
     def ejections(self):
-        return self._sim._net_ejections
+        sim = self._sim
+        if sim.B > 1:
+            return int(sim._lane_ej_counts()[self._lane])
+        return sim._net_ejections
 
     @property
     def router_stats(self):
-        return self._sim._router_counters()
+        return self._sim._router_counters(self._lane)
 
     @property
     def nic_stats(self):
-        return self._sim._nic_counters()
+        return self._sim._nic_counters(self._lane)
 
     @property
     def messages(self):
-        return self._sim._message_views(0, self._sim._mcount)
+        sim = self._sim
+        return sim._message_views(0, sim._lane_count(self._lane),
+                                  lane=self._lane)
 
     def total_router_activity(self):
         agg = ActivityCounters()
@@ -163,15 +218,28 @@ class ArraySimulator:
     :meth:`activity` and the ``network`` stats facade match the object
     backend; unsupported workload axes raise ``ValueError`` at attach
     or construction time instead of silently diverging.
+
+    ``seeds=[s0, s1, ...]`` builds a *batched* simulator: ``B``
+    replicas of the same configuration, each driven by its own traffic
+    seed, advanced in lockstep by one vectorized pass per phase per
+    cycle.  :meth:`run_experiment_batch` returns one ``WindowStats``
+    per seed, each byte-identical to a single-seed run of that seed.
     """
 
     backend = "array"
 
-    def __init__(self, config, traffic=None, name="", gated=True):
+    def __init__(self, config, traffic=None, name="", gated=True,
+                 seeds=None):
         if config.separate_st_lt:
             raise _unsupported("the split ST/LT pipeline (separate_st_lt)")
         if config.routing.name not in _SUPPORTED_ROUTING:
             raise _unsupported(f"{config.routing.name!r} routing")
+        if seeds is not None:
+            seeds = tuple(int(s) for s in seeds)
+            if not seeds:
+                raise ValueError("seeds must name at least one replica seed")
+        self.seeds = seeds
+        self.B = 1 if seeds is None else len(seeds)
         self.cfg = config
         self.name = name or ("proposed" if config.bypass else "baseline")
         self.gated = gated
@@ -179,16 +247,25 @@ class ArraySimulator:
         self.obs = None
         self.faults = None
         self._bypass = config.bypass
+        self._mc = False
+        self._o1turn = False
+        self._valiant = False
         self._last_progress = 0
         self._watchdog_start = 0
         self._watchdog_armed = False
         self._build_static()
         self._build_state()
-        self.network = _ArrayNetwork(self)
+        self.network = _ArrayNetwork(self, 0)
         self._traffic = None
         self._sources_on = False
         if traffic is not None:
             self.attach_traffic(traffic)
+
+    def lane_network(self, lane):
+        """The ``network`` stats facade of one replica lane."""
+        if not 0 <= lane < self.B:
+            raise IndexError(f"lane {lane} out of range (batch size {self.B})")
+        return _ArrayNetwork(self, lane)
 
     # ------------------------------------------------------------------
     # compilation: geometry, routing and VC tables
@@ -197,19 +274,23 @@ class ArraySimulator:
     def _build_static(self):
         cfg = self.cfg
         k = cfg.k
+        B = self.B
         R = self.R = k * k
-        N = self.N = R * P
-        self.T = N + R  # trackers: router out ports, then NICs
+        N1 = self.N1 = R * P  # ports per replica lane
+        N = self.N = B * N1  # global ports, lane-major
+        RT = self.RT = B * R  # global nodes
+        self.T = N + RT  # trackers: router out ports, then NICs
         V = self.V = cfg.num_vcs
         self.D = max(spec.depth for spec in cfg.vcs)
 
-        # link topology: downstream input port of each output port, the
-        # tracker each input port returns credits to
-        dst_in = np.full(N, -1, dtype=np.int64)
-        cred_target = np.full(N, -1, dtype=np.int64)
+        # link topology per lane: downstream input port of each output
+        # port, the tracker each input port returns credits to (local
+        # indices; NIC trackers encoded as N1 + r until the lift)
+        dst1 = np.full(N1, -1, dtype=np.int64)
+        ct1 = np.full(N1, -1, dtype=np.int64)
         for r in range(R):
             x, y = coords(r, k)
-            cred_target[r * P + LOCAL] = N + r  # NIC tracker
+            ct1[r * P + LOCAL] = N1 + r  # NIC tracker
             for port, (nx, ny) in (
                 (NORTH, (x, y + 1)),
                 (EAST, (x + 1, y)),
@@ -219,13 +300,24 @@ class ArraySimulator:
                 if not (0 <= nx < k and 0 <= ny < k):
                     continue
                 nb = node_at(nx, ny, k)
-                dst_in[r * P + port] = nb * P + OPPOSITE[port]
-                cred_target[r * P + port] = nb * P + OPPOSITE[port]
-        self.DST_IN = dst_in
-        self.CRED_TARGET = cred_target
+                dst1[r * P + port] = nb * P + OPPOSITE[port]
+                ct1[r * P + port] = nb * P + OPPOSITE[port]
+        # lift into the lane-major global index space: lanes never
+        # share a wire, so each lane gets the same tables offset by its
+        # base port (mesh) or base node (NIC trackers)
+        lanes = np.arange(B, dtype=np.int64)[:, None]
+        self.DST_IN = np.where(
+            dst1 >= 0, lanes * N1 + dst1, -1
+        ).reshape(-1)
+        self.CRED_TARGET = np.where(
+            ct1 >= N1,
+            N + lanes * R + (ct1 - N1),
+            np.where(ct1 >= 0, lanes * N1 + ct1, -1),
+        ).reshape(-1)
 
         # unicast route tables: output port by (dimension order, router,
-        # destination); 0 = XY, 1 = YX — o1turn headers index into this
+        # destination); 0 = XY, 1 = YX — o1turn headers index into this,
+        # valiant routes XY toward the waypoint then the destination
         route = np.empty((2, R, R), dtype=np.int64)
         for r in range(R):
             x, y = coords(r, k)
@@ -282,9 +374,14 @@ class ArraySimulator:
         for g, mem in enumerate(members):
             self._freeq_init[g, : len(mem)] = mem
         self._vcidx = np.arange(V)
+        self._pidx = np.arange(P)
+        # round-robin rank of VC v seen from pointer p: one gather in
+        # mSA-I instead of a subtract + modulo per call
+        self.RANK_TAB = (self._vcidx[None, :] - self._vcidx[:, None]) % V
 
     def _build_state(self):
-        N, V, D, T, R, G = self.N, self.V, self.D, self.T, self.R, self.G
+        N, V, D, T, RT, G = self.N, self.V, self.D, self.T, self.RT, self.G
+        B = self.B
         z = np.zeros
         # input VC buffers (circular, per [port, vc])
         self.buf_pkt = z((N, V, D), dtype=np.int64)
@@ -300,6 +397,13 @@ class ArraySimulator:
         self.st_vc = z(N, dtype=np.int64)
         self.st_port = z(N, dtype=np.int64)
         self.st_ovc = z(N, dtype=np.int64)
+        # multicast ST registers: granted-branch bitmask, per-branch
+        # output VC, whether this traversal pops the buffer slot
+        self.st_pmask = z(N, dtype=np.int64)
+        self.st_pop = z(N, dtype=bool)
+        self.st_ovcp = z((N, P), dtype=np.int64)
+        #: per input VC: tree branches already granted to the front flit
+        self.mc_granted = z((N, V), dtype=np.int64)
         self.latch_pkt = z(N, dtype=np.int64)
         # channel registers (receiver indexed; delay-one single slot)
         self.fl_valid = z(N, dtype=bool)
@@ -311,13 +415,16 @@ class ArraySimulator:
         self.la_valid = z(N, dtype=bool)  # la_now latch
         self.la_pkt = z(N, dtype=np.int64)
         self.la_vc = z(N, dtype=np.int64)
-        self.ej_valid = z(R, dtype=bool)
-        self.ej_pkt = z(R, dtype=np.int64)
-        self.ej_vc = z(R, dtype=np.int64)
+        self.ej_valid = z(RT, dtype=bool)
+        self.ej_pkt = z(RT, dtype=np.int64)
+        self.ej_vc = z(RT, dtype=np.int64)
         # credit ping-pong (delay two)
-        self.cr_valid = z((T, 2), dtype=bool)
-        self.cr_vc = z((T, 2), dtype=np.int64)
-        self.cr_tail = z((T, 2), dtype=bool)
+        # slot-major layout: the per-cycle arrival scan touches one
+        # whole slot row, so keeping slots contiguous makes the
+        # nonzero/clear pass a sequential read instead of a stride-2 one
+        self.cr_valid = z((2, T), dtype=bool)
+        self.cr_vc = z((2, T), dtype=np.int64)
+        self.cr_tail = z((2, T), dtype=bool)
         # unified credit trackers (router out ports + NICs)
         self.owner = np.full((T, V), -1, dtype=np.int64)
         self.credits = np.tile(self.VC_DEPTH, (T, 1))
@@ -332,16 +439,16 @@ class ArraySimulator:
         self.arank = np.tile(np.arange(P, dtype=np.int64), (N, 1))
         self._rank_next = np.full(N, P, dtype=np.int64)
         # NIC state: ring queues per (node, message class)
-        self.pend_valid = z(R, dtype=bool)
-        self.pend_pkt = z(R, dtype=np.int64)
-        self.pend_vc = z(R, dtype=np.int64)
-        self.nrr = z(R, dtype=np.int64)  # message-class round robin
+        self.pend_valid = z(RT, dtype=bool)
+        self.pend_pkt = z(RT, dtype=np.int64)
+        self.pend_vc = z(RT, dtype=np.int64)
+        self.nrr = z(RT, dtype=np.int64)  # message-class round robin
         self._qcap = 64
-        self.q_pkt = z((R, 2, self._qcap), dtype=np.int64)
-        self.q_head = z((R, 2), dtype=np.int64)
-        self.q_len = z((R, 2), dtype=np.int64)
-        self.backlog = z(R, dtype=bool)
-        # packet/message tables (pid == mid for unicast; grown on demand)
+        self.q_pkt = z((RT, 2, self._qcap), dtype=np.int64)
+        self.q_head = z((RT, 2), dtype=np.int64)
+        self.q_len = z((RT, 2), dtype=np.int64)
+        self.backlog = z(RT, dtype=bool)
+        # packet/message tables (pid == mid; grown on demand)
         cap = 1024
         self._cap = cap
         self._mcount = 0
@@ -351,13 +458,20 @@ class ArraySimulator:
         self.p_nflits = z(cap, dtype=np.int64)
         self.p_creation = z(cap, dtype=np.int64)
         self.p_completion = z(cap, dtype=np.int64)
+        self.p_w = np.full(cap, -1, dtype=np.int64)  # valiant waypoint
+        self.p_src = z(cap, dtype=np.int64)  # lane-local source router
+        self.p_mcls = z(cap, dtype=np.int64)
+        self.p_mcast = z(cap, dtype=bool)
+        self.p_pending = z(cap, dtype=np.int64)  # deliveries outstanding
+        self.p_lane = z(cap, dtype=np.int64)
         # activity counters: per input/output port (folded per router
-        # lazily); c_st covers credits_sent == xbar_in == xbar_out
+        # lazily); for unicast workloads c_st covers credits_sent ==
+        # xbar_in == xbar_out, multicast splits out c_xout
         for cname in ("c_bw", "c_br", "c_st", "c_byp", "c_link",
-                      "c_m1", "c_m2", "c_las", "c_lar"):
+                      "c_m1", "c_m2", "c_las", "c_lar", "c_xout"):
             setattr(self, cname, z(N, dtype=np.int64))
         for cname in ("c_ej", "n_inj", "n_ej", "n_sub", "n_las"):
-            setattr(self, cname, z(R, dtype=np.int64))
+            setattr(self, cname, z(RT, dtype=np.int64))
         self._net_cycles = 0
         self._net_ejections = 0
         # emptiness counters (maintained at the mutation sites so the
@@ -375,16 +489,38 @@ class ArraySimulator:
         self._best = z(N, dtype=np.int64)
         self._used = z(N, dtype=bool)
         # GRANTED flits in flight (set at buffered grant, cleared at
-        # the traversal next cycle) — lets mSA-I skip the stage gather
+        # the traversal next cycle) — lets mSA-I skip the stage gather;
+        # the per-port count confines that gather to the few ports
+        # actually holding one
         self._gr_n = 0
+        self._gr_port = z(N, dtype=np.int64)
         self._bl_any = False
+        # per-lane replica bookkeeping (batched runs only).  Progress
+        # is derived from the per-router ejection counters on demand,
+        # so the hot loop pays nothing for it; the watchdog check
+        # itself is amortised to at most once per WATCHDOG_CYCLES via
+        # _wd_next (see _check_watchdog_batch).
+        self._lane_msgs = z(B, dtype=np.int64)
+        self._lane_progress = z(B, dtype=np.int64)
+        self._lane_wd_start = z(B, dtype=np.int64)
+        self._lane_wd_armed = z(B, dtype=bool)
+        self._wd_next = WATCHDOG_CYCLES + 1
+        self._lane_alive = np.ones(B, dtype=bool)
+        self._lane_stop = ["completed"] * B
+        self._src_live = np.ones(RT, dtype=bool)
+        self._any_dead = False
 
     # ------------------------------------------------------------------
     # workload attachment
     # ------------------------------------------------------------------
 
     def attach_traffic(self, traffic):
-        """Compile a bound :class:`SyntheticTraffic` into array form."""
+        """Compile a bound :class:`SyntheticTraffic` into array form.
+
+        On a batched simulator (``seeds=[...]``) the attached source
+        acts as the *template*: each lane gets its own clone with the
+        lane's seed (the template's own seed is not used).
+        """
         mix = getattr(traffic, "mix", None)
         process = getattr(traffic, "process", None)
         if mix is None or process is None:
@@ -392,33 +528,67 @@ class ArraySimulator:
                 f"traffic source {type(traffic).__name__} (only "
                 f"SyntheticTraffic workloads compile to arrays)"
             )
-        if any(c.broadcast for c in mix.components):
-            raise _unsupported("multicast/broadcast traffic mixes")
-        traffic.bind(self.cfg)
-        self._traffic = traffic
-        self._packet_rate = traffic._packet_rate
-        R = self.R
+        routing = self.cfg.routing
+        bc = any(c.broadcast for c in mix.components)
+        if bc:
+            if not self.cfg.multicast:
+                raise _unsupported(
+                    "broadcast mixes on a multicast=False config "
+                    "(per-destination flit replication)"
+                )
+            if not routing.supports_multicast:
+                # mirror the object backend's rejection exactly
+                raise ValueError(
+                    f"{routing.name} routing cannot carry router-level "
+                    f"multicast traffic (multicast trees are XY-only); "
+                    f"use xy routing or a multicast=False config"
+                )
+            if any(c.broadcast and c.num_flits > 1 for c in mix.components):
+                raise _unsupported("multi-flit broadcast packets")
+        self._mc = bc
+        lanes = [traffic]
+        if self.seeds is not None:
+            lanes = [
+                type(traffic)(
+                    mix,
+                    traffic.injection_rate,
+                    seed=s,
+                    identical_generators=traffic.identical_generators,
+                    pattern=traffic.pattern,
+                    process=traffic.process,
+                )
+                for s in self.seeds
+            ]
+        for tr in lanes:
+            tr.bind(self.cfg)
+        self._traffic = lanes[0]
+        self._packet_rate = lanes[0]._packet_rate
+        R, RT, B = self.R, self.RT, self.B
         # main traffic streams: the scalar constructor performs the
         # tested seed diffusion; we lift its register state
-        tstate = np.empty(R, dtype=np.int64)
-        for node in range(R):
-            node_seed = (traffic.seed if traffic.identical_generators
-                         else traffic.seed + node)
-            tstate[node] = PRBSGenerator(order=31, seed=node_seed)._state
+        tstate = np.empty(RT, dtype=np.int64)
+        for b, tr in enumerate(lanes):
+            for node in range(R):
+                node_seed = (tr.seed if tr.identical_generators
+                             else tr.seed + node)
+                tstate[b * R + node] = PRBSGenerator(
+                    order=31, seed=node_seed
+                )._state
         self.tstate = tstate
         # modulated injection: lift each node's ChainState
-        steppers = traffic._steppers
-        if steppers is None:
+        if lanes[0]._steppers is None:
             self.cstate = None
         else:
-            self.cstate = np.empty(R, dtype=np.int64)
-            self.chstate = np.empty(R, dtype=np.int64)
-            for node in range(R):
-                chain = steppers[node]
-                self.cstate[node] = chain.chain._state
-                self.chstate[node] = chain.state
-            self.probs_tab = np.array(steppers[0].probs, dtype=np.float64)
-            self.leave_tab = np.array(steppers[0].leave, dtype=np.float64)
+            self.cstate = np.empty(RT, dtype=np.int64)
+            self.chstate = np.empty(RT, dtype=np.int64)
+            for b, tr in enumerate(lanes):
+                for node in range(R):
+                    chain = tr._steppers[node]
+                    self.cstate[b * R + node] = chain.chain._state
+                    self.chstate[b * R + node] = chain.state
+            steppers0 = lanes[0]._steppers
+            self.probs_tab = np.array(steppers0[0].probs, dtype=np.float64)
+            self.leave_tab = np.array(steppers0[0].leave, dtype=np.float64)
             self.n_states = len(self.probs_tab)
         # mix selection: searchsorted over the cumulative weights plus
         # the oracle's fallback component as a trailing entry
@@ -429,12 +599,17 @@ class ArraySimulator:
                                      dtype=np.int64)
         self._comp_nflits = np.array([c.num_flits for c in comps],
                                      dtype=np.int64)
-        # destination pattern
-        pattern = traffic.pattern
-        if traffic._dest_table is not None:
-            self._dest_arr = np.array(
-                [next(iter(d)) for d in traffic._dest_table], dtype=np.int64
+        self._comp_bcast = np.array([bool(c.broadcast) for c in comps],
+                                    dtype=bool)
+        # destination pattern (deterministic tables are seed-free, so
+        # one lane's table serves every lane, tiled into global nodes)
+        pattern = lanes[0].pattern
+        if lanes[0]._dest_table is not None:
+            base_tab = np.array(
+                [next(iter(d)) for d in lanes[0]._dest_table],
+                dtype=np.int64,
             )
+            self._dest_arr = np.tile(base_tab, B)
             self._pattern_kind = "table"
         elif pattern.name == "uniform":
             self._pattern_kind = "uniform"
@@ -444,17 +619,37 @@ class ArraySimulator:
             self._hot_fraction = pattern.fraction
         else:
             raise _unsupported(f"the stochastic {pattern.name!r} pattern")
-        # routing header streams (only o1turn draws from them)
-        routing = self.cfg.routing
+        # routing header streams (o1turn and valiant draw from them)
         self._o1turn = routing.name == "o1turn"
+        self._valiant = routing.name == "valiant"
         self._route_fixed = self.ROUTE[1 if routing.name == "yx" else 0]
-        if self._o1turn:
-            self.rstate = np.empty(R, dtype=np.int64)
-            for node in range(R):
-                seed = salted_stream_seed(
-                    traffic.seed, _ROUTING_STREAM_SALT, node
-                )
-                self.rstate[node] = PRBSGenerator(order=31, seed=seed)._state
+        if self._o1turn or self._valiant:
+            self.rstate = np.empty(RT, dtype=np.int64)
+            for b, tr in enumerate(lanes):
+                for node in range(R):
+                    seed = salted_stream_seed(
+                        tr.seed, _ROUTING_STREAM_SALT, node
+                    )
+                    self.rstate[b * R + node] = PRBSGenerator(
+                        order=31, seed=seed
+                    )._state
+        # multicast trees: output-port bitmask of the XY tree rooted at
+        # each source as it passes each router, found by walking the
+        # same partition the object router evaluates per flit
+        if self._mc:
+            k = self.cfg.k
+            mcp = np.zeros((R, R), dtype=np.int64)
+            for src in range(R):
+                frontier = [(src, frozenset(range(R)))]
+                while frontier:
+                    r, dests = frontier.pop()
+                    mask = 0
+                    for port, sub in _xy_partition(r, dests, k).items():
+                        mask |= 1 << port
+                        if port != LOCAL:
+                            frontier.append((next_router(r, port, k), sub))
+                    mcp[src, r] = mask
+            self.MC_PORTS = mcp
         self._sources_on = True
         # queues start empty, so nothing is backlogged until a submit
         self.backlog[:] = False
@@ -477,13 +672,19 @@ class ArraySimulator:
             self._nic_receive(t)
         self._nic_step(t)
         if self._st_n:
-            self._st(t)
+            if self._mc:
+                self._st_mc(t)
+            else:
+                self._st(t)
         if (self._bypass and self._la_n) or self._s2_n:
             self._msa2(t)
         if self._bocc_n:
             self._msa1(t)
         self._net_cycles += 1
-        self._check_watchdog()
+        if self.B == 1:
+            self._check_watchdog()
+        else:
+            self._check_watchdog_batch()
         self.cycle += 1
 
     def _receive(self, t):
@@ -491,12 +692,12 @@ class ArraySimulator:
         slot = t & 1
         if self._cr_n[slot]:
             self._cr_n[slot] = 0
-            cv = self.cr_valid[:, slot]
+            cv = self.cr_valid[slot]
             tr = cv.nonzero()[0]
             cv[:] = False
-            vcs = self.cr_vc[tr, slot]
+            vcs = self.cr_vc[slot, tr]
             self.credits[tr, vcs] += 1
-            tails = self.cr_tail[tr, slot]
+            tails = self.cr_tail[slot, tr]
             if tails.any():
                 trt = tr[tails]
                 vct = vcs[tails]
@@ -513,6 +714,15 @@ class ArraySimulator:
             self.fl_valid[:] = False
             pkt = self.fl_pkt[narr]
             vcs = self.fl_vc[narr]
+            if self._valiant:
+                # the header advances (the waypoint is consumed) before
+                # the route is derived — set the ADV bit on arrival at
+                # the waypoint router, before latching or buffering
+                adv = ((pkt & _ADV) == 0) & (
+                    ((narr // P) % self.R) == self.p_w[pkt >> 3]
+                )
+                if adv.any():
+                    pkt = pkt | (adv.astype(np.int64) << 2)
             byp = self.st_valid[narr] & self.st_bypass[narr]
             if byp.any():
                 nb = narr[byp]
@@ -550,13 +760,21 @@ class ArraySimulator:
         self.n_ej[rs] += 1
         tails = (pkt & _TAIL) != 0
         if tails.any():
-            # reception convention: visible at t, received at end of t-1
-            self.p_completion[pkt[tails] >> 2] = t - 1
+            mids = pkt[tails] >> 3
+            if self._mc:
+                # reception convention: visible at t, received at end
+                # of t-1; a multicast completes at its *last* delivery
+                np.subtract.at(self.p_pending, mids, 1)
+                done = mids[self.p_pending[mids] == 0]
+                if len(done):
+                    self.p_completion[done] = t - 1
+            else:
+                self.p_completion[mids] = t - 1
         tracker = rs * P + LOCAL  # the router's LOCAL output tracker
         slot = t & 1
-        self.cr_valid[tracker, slot] = True
-        self.cr_vc[tracker, slot] = self.ej_vc[rs]
-        self.cr_tail[tracker, slot] = tails
+        self.cr_valid[slot, tracker] = True
+        self.cr_vc[slot, tracker] = self.ej_vc[rs]
+        self.cr_tail[slot, tracker] = tails
         self._cr_n[slot] += len(rs)
 
     def _nic_step(self, t):
@@ -602,6 +820,9 @@ class ArraySimulator:
             np.copyto(self.cstate, cns, where=cact)
             move = cact & (cword / 16777216.0 < leave)
             np.copyto(ch, (ch + 1) % self.n_states, where=move)
+        if self._any_dead:
+            # watchdog-killed replica lanes stop sourcing traffic
+            inject &= self._src_live
         return inject.nonzero()[0]
 
     def _submit_batch(self, inj, t):
@@ -609,10 +830,14 @@ class ArraySimulator:
 
         Nodes are processed in ascending order (``nonzero`` order), so
         message ids are handed out exactly as the oracle's node loop
-        does.  Every node draws the same *number* of words for a given
-        pattern, which is what makes the batch exact.
+        does (lane-major within a cycle for batched runs).  For a given
+        pattern every *unicast* draw consumes the same number of words
+        at every node, and broadcast rows consume no destination and no
+        routing word — which is what makes the batch exact.
         """
         m = len(inj)
+        R = self.R
+        inj_loc = inj % R if self.B > 1 else inj
         st = self.tstate[inj]
         word, st = _word24(st)
         pick = word / 16777216.0
@@ -620,41 +845,102 @@ class ArraySimulator:
         mcls = self._comp_mclass[ci]
         nfl = self._comp_nflits[ci]
         kind = self._pattern_kind
+        if self._mc:
+            bc = self._comp_bcast[ci]
+            ui = (~bc).nonzero()[0]  # only unicast rows draw dests
+        else:
+            bc = None
+            ui = None
+        dest = np.empty(m, dtype=np.int64)
         if kind == "table":
-            dest = self._dest_arr[inj]
+            dest[:] = self._dest_arr[inj]
         elif kind == "uniform":
-            w2, st = _word24(st)
-            other = w2 % (self.R - 1)
-            dest = other + (other >= inj)
+            if ui is None:
+                w2, st = _word24(st)
+                other = w2 % (R - 1)
+                dest[:] = other + (other >= inj_loc)
+            elif len(ui):
+                su = st[ui]
+                w2, su = _word24(su)
+                st[ui] = su
+                other = w2 % (R - 1)
+                dest[ui] = other + (other >= inj_loc[ui])
         else:  # hotspot: two words per destination, both branches
-            w2, st = _word24(st)
-            w3, st = _word24(st)
-            hd = self._hot_arr[w3 % len(self._hot_arr)]
-            other = w3 % (self.R - 1)
-            dest = np.where(
-                w2 / 16777216.0 < self._hot_fraction,
-                hd,
-                other + (other >= inj),
-            )
+            if ui is None:
+                w2, st = _word24(st)
+                w3, st = _word24(st)
+                hd = self._hot_arr[w3 % len(self._hot_arr)]
+                other = w3 % (R - 1)
+                dest[:] = np.where(
+                    w2 / 16777216.0 < self._hot_fraction,
+                    hd,
+                    other + (other >= inj_loc),
+                )
+            elif len(ui):
+                su = st[ui]
+                w2, su = _word24(su)
+                w3, su = _word24(su)
+                st[ui] = su
+                hd = self._hot_arr[w3 % len(self._hot_arr)]
+                other = w3 % (R - 1)
+                dest[ui] = np.where(
+                    w2 / 16777216.0 < self._hot_fraction,
+                    hd,
+                    other + (other >= inj_loc[ui]),
+                )
+        if bc is not None:
+            # a broadcast's delivery set is implicit in the tree tables
+            dest[bc] = inj_loc[bc]
         self.tstate[inj] = st
         pid0 = self._mcount
         while pid0 + m > self._cap:
             self._grow_tables()
         pids = pid0 + np.arange(m)
         self._mcount = pid0 + m
+        adv = None
+        phase = 0
+        rows = np.arange(m) if ui is None else ui
         if self._o1turn:
-            rs_ = self.rstate[inj]
-            fb = ((rs_ >> 30) ^ (rs_ >> 27)) & 1
-            self.rstate[inj] = ((rs_ << 1) | fb) & _MASK31
-            self.p_ord[pids] = fb  # only consulted on the o1turn path
-            phase = fb
-        else:
-            phase = 0
+            ordw = np.zeros(m, dtype=np.int64)
+            if len(rows):
+                rs_ = self.rstate[inj[rows]]
+                fb = ((rs_ >> 30) ^ (rs_ >> 27)) & 1
+                self.rstate[inj[rows]] = ((rs_ << 1) | fb) & _MASK31
+                ordw[rows] = fb
+            self.p_ord[pids] = ordw  # only consulted on the o1turn path
+            phase = ordw
+        elif self._valiant:
+            pw = np.full(m, -1, dtype=np.int64)
+            adv = np.zeros(m, dtype=np.int64)
+            if len(rows):
+                rs_ = self.rstate[inj[rows]]
+                w24, rs2 = _word24(rs_)
+                self.rstate[inj[rows]] = rs2
+                w = w24 % R
+                born = (w == inj_loc[rows]).astype(np.int64)
+                # a draw landing on the source is consumed immediately:
+                # the packet is born in phase 1 with no waypoint
+                pw[rows] = np.where(born == 1, -1, w)
+                adv[rows] = born
+            self.p_w[pids] = pw
+            phase = adv
         self.p_dest[pids] = dest
         self.p_gid[pids] = self.GROUP_ID[mcls, phase]
         self.p_nflits[pids] = nfl
         self.p_creation[pids] = t
         self.p_completion[pids] = -1
+        self.p_src[pids] = inj_loc
+        self.p_mcls[pids] = mcls
+        if bc is not None:
+            self.p_mcast[pids] = bc
+            self.p_pending[pids] = np.where(bc, R, 1)
+        else:
+            self.p_mcast[pids] = False
+            self.p_pending[pids] = 1
+        if self.B > 1:
+            lane = inj // R
+            self.p_lane[pids] = lane
+            self._lane_msgs += np.bincount(lane, minlength=self.B)
         self.n_sub[inj] += 1
         self.backlog[inj] = True
         self._bl_any = True
@@ -665,7 +951,10 @@ class ArraySimulator:
             # single-flit fast path: one vector append per cycle
             pos = (self.q_head[inj, mcls] + self.q_len[inj, mcls]) \
                 % self._qcap
-            self.q_pkt[inj, mcls, pos] = (pids << 2) | (_HEAD | _TAIL)
+            word_q = (pids << 3) | (_HEAD | _TAIL)
+            if adv is not None:
+                word_q |= adv << 2
+            self.q_pkt[inj, mcls, pos] = word_q
             self.q_len[inj, mcls] += 1
         else:
             qcap = self._qcap
@@ -673,7 +962,9 @@ class ArraySimulator:
                 node = int(inj[j])
                 mc = int(mcls[j])
                 f = int(nfl[j])
-                base = int(pids[j]) << 2
+                base = int(pids[j]) << 3
+                if adv is not None:
+                    base |= int(adv[j]) << 2
                 head = int(self.q_head[node, mc])
                 length = int(self.q_len[node, mc])
                 for seq in range(f):
@@ -686,9 +977,10 @@ class ArraySimulator:
     def _grow_tables(self):
         new = self._cap * 2
         for name in ("p_dest", "p_ord", "p_gid", "p_nflits",
-                     "p_creation", "p_completion"):
+                     "p_creation", "p_completion", "p_w", "p_src",
+                     "p_mcls", "p_mcast", "p_pending", "p_lane"):
             old = getattr(self, name)
-            arr = np.zeros(new, dtype=np.int64)
+            arr = np.zeros(new, dtype=old.dtype)
             arr[: self._cap] = old
             setattr(self, name, arr)
         self._cap = new
@@ -698,7 +990,7 @@ class ArraySimulator:
         new_cap = old_cap * 2
         # relinearise every ring so the new tail space is contiguous
         order = (self.q_head[:, :, None] + np.arange(old_cap)) % old_cap
-        new_q = np.zeros((self.R, 2, new_cap), dtype=np.int64)
+        new_q = np.zeros((self.RT, 2, new_cap), dtype=np.int64)
         new_q[:, :, :old_cap] = np.take_along_axis(self.q_pkt, order, axis=2)
         self.q_pkt = new_q
         self.q_head[:] = 0
@@ -724,7 +1016,7 @@ class ArraySimulator:
             is_head = (pkt & _HEAD) != 0
             if is_head.all():
                 # single-flit fast path: every queue head is a header
-                g = self.p_gid[pkt >> 2]
+                g = self.p_gid[pkt >> 3]
                 ok = self.fq_len[ctr, g] > 0
                 vc = np.zeros(len(ci), dtype=np.int64)
                 fi = ok.nonzero()[0]
@@ -735,7 +1027,7 @@ class ArraySimulator:
                     v = self.freeq[ftr, fg, head]
                     self.fq_head[ftr, fg] = (head + 1) % self.GROUP_CAP[fg]
                     self.fq_len[ftr, fg] -= 1
-                    self.owner[ftr, v] = pkt[fi] >> 2
+                    self.owner[ftr, v] = pkt[fi] >> 3
                     self.credits[ftr, v] -= 1
                     vc[fi] = v
                 wi = fi
@@ -751,7 +1043,7 @@ class ArraySimulator:
             hi = is_head.nonzero()[0]
             if len(hi):
                 htr = ctr[hi]
-                g = self.p_gid[pkt[hi] >> 2]
+                g = self.p_gid[pkt[hi] >> 3]
                 free = self.fq_len[htr, g] > 0
                 fi = hi[free]
                 if len(fi):
@@ -761,14 +1053,14 @@ class ArraySimulator:
                     v = self.freeq[ftr, fg, head]
                     self.fq_head[ftr, fg] = (head + 1) % self.GROUP_CAP[fg]
                     self.fq_len[ftr, fg] -= 1
-                    self.owner[ftr, v] = pkt[fi] >> 2
+                    self.owner[ftr, v] = pkt[fi] >> 3
                     self.credits[ftr, v] -= 1
                     ok[fi] = True
                     vc[fi] = v
             bi = (~is_head).nonzero()[0]
             if len(bi):
                 btr = ctr[bi]
-                own = self.owner[btr] == (pkt[bi] >> 2)[:, None]
+                own = self.owner[btr] == (pkt[bi] >> 3)[:, None]
                 v = own.argmax(axis=1)
                 good = self.credits[btr, v] > 0
                 gi = bi[good]
@@ -838,13 +1130,14 @@ class ArraySimulator:
             self.c_br[nn] += 1
             self._bocc_n -= len(nn)
             self._gr_n -= len(nn)  # every buffered traversal was GRANTED
+            self._gr_port[nn] -= 1
         # one credit upstream per traversal (pop is unconditional for
         # unicast: a granted flit always leaves its buffer/latch)
         target = self.CRED_TARGET[ns]
         slot = t & 1
-        self.cr_valid[target, slot] = True
-        self.cr_vc[target, slot] = self.st_vc[ns]
-        self.cr_tail[target, slot] = (pkt & _TAIL) != 0
+        self.cr_valid[slot, target] = True
+        self.cr_vc[slot, target] = self.st_vc[ns]
+        self.cr_tail[slot, target] = (pkt & _TAIL) != 0
         self._cr_n[slot] += len(ns)
         self.c_st[ns] += 1
         # crossbar output: eject locally or forward on the mesh link
@@ -870,9 +1163,86 @@ class ArraySimulator:
             self.c_link[nf] += 1
             self._fl_n += len(wi)
 
+    def _st_mc(self, t):
+        """Switch traversal with per-port fanout (multicast configs).
+
+        ``st_pmask`` holds this cycle's granted port set per input
+        port; a buffered flit pops only when the cycle's grants
+        completed its route (``st_pop``), mirroring the oracle's
+        ``STOp(pop=...)``.  Credits flow only when the flit actually
+        leaves (pop or bypass) and the crossbar-output counter grows by
+        the branch count, not by one.
+        """
+        self._st_n = 0
+        ns = self.st_valid.nonzero()[0]
+        self.st_valid[:] = False
+        byp = self.st_bypass[ns]
+        pop = self.st_pop[ns]
+        vcn = self.st_vc[ns]
+        pkt = np.empty(len(ns), dtype=np.int64)
+        bi = byp.nonzero()[0]
+        if len(bi):
+            nb = ns[bi]
+            pkt[bi] = self.latch_pkt[nb]
+            self.c_byp[nb] += 1
+        fi = (~byp).nonzero()[0]
+        if len(fi):
+            nn = ns[fi]
+            # the front flit sits at its VC's head whether this round
+            # pops it or leaves it for the remaining branches
+            pkt[fi] = self.buf_pkt[nn, vcn[fi], self.bhead[nn, vcn[fi]]]
+        pi = ((~byp) & pop).nonzero()[0]
+        if len(pi):
+            nq = ns[pi]
+            vp = vcn[pi]
+            h = self.bhead[nq, vp]
+            self.bhead[nq, vp] = (h + 1) % self.D
+            self.bocc[nq, vp] -= 1
+            self.c_br[nq] += 1
+            self.mc_granted[nq, vp] = 0  # grant set dies with the flit
+            self._bocc_n -= len(nq)
+            self._gr_n -= len(nq)
+            self._gr_port[nq] -= 1
+        ci = (byp | pop).nonzero()[0]
+        if len(ci):
+            nc = ns[ci]
+            target = self.CRED_TARGET[nc]
+            slot = t & 1
+            self.cr_valid[slot, target] = True
+            self.cr_vc[slot, target] = vcn[ci]
+            self.cr_tail[slot, target] = (pkt[ci] & _TAIL) != 0
+            self._cr_n[slot] += len(nc)
+        self.c_st[ns] += 1
+        pm = self.st_pmask[ns]
+        nout = np.zeros(len(ns), dtype=np.int64)
+        for p in range(P):
+            nout += (pm >> p) & 1
+        self.c_xout[ns] += nout
+        for p in range(P):
+            rows = (((pm >> p) & 1) != 0).nonzero()[0]
+            if len(rows) == 0:
+                continue
+            nr = ns[rows]
+            ovc = self.st_ovcp[nr, p]
+            if p == LOCAL:
+                re = nr // P
+                self.ej_valid[re] = True
+                self.ej_pkt[re] = pkt[rows]
+                self.ej_vc[re] = ovc
+                self.c_ej[re] += 1
+                self._net_ejections += len(re)
+                self._ej_n += len(re)
+            else:
+                dst = self.DST_IN[nr - nr % P + p]
+                self.fl_valid[dst] = True
+                self.fl_pkt[dst] = pkt[rows]
+                self.fl_vc[dst] = ovc
+                self.c_link[nr] += 1
+                self._fl_n += len(rows)
+
     # ------------------------------------------------------------ mSA-II
 
-    def _check_resources(self, m, pids, heads):
+    def _check_resources(self, m, pids, heads, gids):
         """Vectorized ``_port_resources_ok``: heads need a free VC in
         their (class, phase) group, bodies need their owner VC to have
         a credit.  Returns the mask plus each body's owner VC so the
@@ -880,12 +1250,11 @@ class ArraySimulator:
         bvc = np.zeros(len(m), dtype=np.int64)
         if heads.all():
             # single-flit mixes never present body flits
-            return self.fq_len[m, self.p_gid[pids]] > 0, bvc
+            return self.fq_len[m, gids] > 0, bvc
         ok = np.empty(len(m), dtype=bool)
         hi = heads.nonzero()[0]
         if len(hi):
-            g = self.p_gid[pids[hi]]
-            ok[hi] = self.fq_len[m[hi], g] > 0
+            ok[hi] = self.fq_len[m[hi], gids[hi]] > 0
         bi = (~heads).nonzero()[0]
         if len(bi):
             bm = m[bi]
@@ -896,15 +1265,14 @@ class ArraySimulator:
             bvc[bi] = v
         return ok, bvc
 
-    def _commit_alloc(self, m, pids, heads, bvc):
+    def _commit_alloc(self, m, pids, heads, bvc, gids):
         """``alloc_head`` / ``consume_body`` for winners (their out
         ports are distinct, so the scatters cannot collide)."""
         if heads.all():
-            g = self.p_gid[pids]
-            head = self.fq_head[m, g]
-            v = self.freeq[m, g, head]
-            self.fq_head[m, g] = (head + 1) % self.GROUP_CAP[g]
-            self.fq_len[m, g] -= 1
+            head = self.fq_head[m, gids]
+            v = self.freeq[m, gids, head]
+            self.fq_head[m, gids] = (head + 1) % self.GROUP_CAP[gids]
+            self.fq_len[m, gids] -= 1
             self.owner[m, v] = pids
             self.credits[m, v] -= 1
             return v
@@ -912,7 +1280,7 @@ class ArraySimulator:
         hi = heads.nonzero()[0]
         if len(hi):
             hm = m[hi]
-            g = self.p_gid[pids[hi]]
+            g = gids[hi]
             head = self.fq_head[hm, g]
             v = self.freeq[hm, g, head]
             self.fq_head[hm, g] = (head + 1) % self.GROUP_CAP[g]
@@ -951,37 +1319,61 @@ class ArraySimulator:
     def _msa2(self, t):
         used = self._used
         used[:] = False
+        if self._mc:
+            if self._bypass and self._la_n:
+                self._lookahead_pass_mc(used)
+            if self._s2_n:
+                self._buffered_pass_mc(used)
+            return
         if self._bypass and self._la_n:
             self._lookahead_pass(used)
         if self._s2_n:
             self._buffered_pass(used)
 
-    def _route_ports(self, nsel, pids):
-        """Output port of each candidate (route table lookup)."""
-        r = nsel // P
+    def _route_ports(self, nsel, pids, pkt, mirror_adv=False):
+        """Output port of each candidate plus its valiant phase.
+
+        ``mirror_adv`` replays the receive-time phase advance for
+        lookahead candidates: the lookahead word travels one hop ahead
+        of its flit, so it reaches the waypoint router before the flit
+        has been advanced.
+        """
+        r = (nsel // P) % self.R
         if self._o1turn:
-            return self.ROUTE[self.p_ord[pids], r, self.p_dest[pids]]
-        return self._route_fixed[r, self.p_dest[pids]]
+            return self.ROUTE[self.p_ord[pids], r, self.p_dest[pids]], None
+        if self._valiant:
+            adv = (pkt & _ADV) != 0
+            if mirror_adv:
+                adv = adv | (r == self.p_w[pids])
+            tgt = np.where(adv, self.p_dest[pids], self.p_w[pids])
+            return self.ROUTE[0, r, tgt], adv
+        return self._route_fixed[r, self.p_dest[pids]], None
 
     def _lookahead_pass(self, used):
         nsel = self.la_valid.nonzero()[0]
         vcs = self.la_vc[nsel]
         pkt = self.la_pkt[nsel]
-        pids = pkt >> 2
-        q = self._route_ports(nsel, pids)
+        pids = pkt >> 3
+        q, adv = self._route_ports(nsel, pids, pkt, mirror_adv=True)
+        if adv is not None:
+            # forward the advanced word so the next hop sees phase 1
+            pkt = pkt | (adv.astype(np.int64) << 2)
+            gids = self.GROUP_ID[self.p_mcls[pids], adv.astype(np.int64)]
+        else:
+            gids = self.p_gid[pids]
         m = nsel - nsel % P + q
         heads = (pkt & _HEAD) != 0
         # bypass preserves intra-VC order: the VC must be empty (the
         # bypass latch is always clear by mSA-II — ST precedes it).
         # Combined with the resource check into one filter round.
-        ok, bvc = self._check_resources(m, pids, heads)
+        ok, bvc = self._check_resources(m, pids, heads, gids)
         ok &= self.bocc[nsel, vcs] == 0
         oi = ok.nonzero()[0]
         if len(oi) == 0:
             return
-        nsel, vcs, pkt, pids, q, m, heads, bvc = (
+        nsel, vcs, pkt, pids, q, m, heads, bvc, gids = (
             nsel[oi], vcs[oi], pkt[oi], pids[oi], q[oi], m[oi],
-            heads[oi], bvc[oi],
+            heads[oi], bvc[oi], gids[oi],
         )
         win = self._arbitrate(nsel, m)
         wi = win.nonzero()[0]
@@ -990,7 +1382,7 @@ class ArraySimulator:
         nw = nsel[wi]
         mw = m[wi]
         qw = q[wi]
-        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi])
+        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi], gids[wi])
         used[mw] = True
         self._forward_la(mw, qw, pkt[wi], ovc)
         self.st_valid[nw] = True
@@ -1011,11 +1403,16 @@ class ArraySimulator:
         vcs = self.s2_vc[nsel]
         slots = self.s2_slot[nsel]
         pkt = self.buf_pkt[nsel, vcs, slots]
-        pids = pkt >> 2
-        q = self._route_ports(nsel, pids)
+        pids = pkt >> 3
+        # buffered words were advanced on arrival, so no mirror here
+        q, adv = self._route_ports(nsel, pids, pkt)
+        if adv is not None:
+            gids = self.GROUP_ID[self.p_mcls[pids], adv.astype(np.int64)]
+        else:
+            gids = self.p_gid[pids]
         m = nsel - nsel % P + q
         heads = (pkt & _HEAD) != 0
-        ok, bvc = self._check_resources(m, pids, heads)
+        ok, bvc = self._check_resources(m, pids, heads, gids)
         askable = ok & ~used[m]
         # nothing available: release the S2 register so mSA-I can pick
         # a different VC next cycle (no head-of-line squatting)
@@ -1027,9 +1424,9 @@ class ArraySimulator:
         ai = askable.nonzero()[0]
         if len(ai) == 0:
             return
-        nsel, vcs, slots, pkt, pids, q, m, heads, bvc = (
+        nsel, vcs, slots, pkt, pids, q, m, heads, bvc, gids = (
             nsel[ai], vcs[ai], slots[ai], pkt[ai], pids[ai], q[ai],
-            m[ai], heads[ai], bvc[ai],
+            m[ai], heads[ai], bvc[ai], gids[ai],
         )
         win = self._arbitrate(nsel, m)
         wi = win.nonzero()[0]
@@ -1038,11 +1435,12 @@ class ArraySimulator:
         nw = nsel[wi]
         mw = m[wi]
         qw = q[wi]
-        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi])
+        ovc = self._commit_alloc(mw, pids[wi], heads[wi], bvc[wi], gids[wi])
         # unicast grants are always complete: mark GRANTED, free the S2
         # register, schedule the traversal
         self.buf_stage[nw, vcs[wi], slots[wi]] = _ST_GRANTED
         self._gr_n += len(wi)
+        self._gr_port[nw] += 1
         self.s2_vc[nw] = -1
         self._s2_n -= len(wi)
         if self._bypass:
@@ -1054,6 +1452,191 @@ class ArraySimulator:
         self.st_ovc[nw] = ovc
         self._st_n += len(nw)
         self.c_m2[nw] += 1
+
+    def _lookahead_pass_mc(self, used):
+        """Lookahead mSA-II with multicast candidates in the mix.
+
+        A multicast lookahead asks for *every* port of its XY tree and
+        bypasses all-or-nothing: resources are checked on the full port
+        set before any arbitration (a failed candidate never requests,
+        so no arbiter rotates for it), every per-port winner rotates
+        its arbiter, and only candidates that won every requested port
+        latch, allocate and mark their ports used.
+        """
+        nsel = self.la_valid.nonzero()[0]
+        vcs = self.la_vc[nsel]
+        pkt = self.la_pkt[nsel]
+        pids = pkt >> 3
+        base = nsel - nsel % P
+        r_loc = (nsel // P) % self.R
+        mcm = self.p_mcast[pids]
+        heads = (pkt & _HEAD) != 0
+        gids = self.p_gid[pids]
+        C = len(nsel)
+        bvc = np.zeros(C, dtype=np.int64)
+        ok = np.zeros(C, dtype=bool)
+        reqm = np.zeros((C, P), dtype=bool)
+        ui = (~mcm).nonzero()[0]
+        if len(ui):
+            q_u, adv_u = self._route_ports(
+                nsel[ui], pids[ui], pkt[ui], mirror_adv=True
+            )
+            if adv_u is not None:
+                advw = adv_u.astype(np.int64)
+                pkt[ui] = pkt[ui] | (advw << 2)
+                gids[ui] = self.GROUP_ID[self.p_mcls[pids[ui]], advw]
+            reqm[ui, q_u] = True
+            ok_u, bvc_u = self._check_resources(
+                base[ui] + q_u, pids[ui], heads[ui], gids[ui]
+            )
+            ok[ui] = ok_u
+            bvc[ui] = bvc_u
+        mi = mcm.nonzero()[0]
+        if len(mi):
+            masks = self.MC_PORTS[self.p_src[pids[mi]], r_loc[mi]]
+            reqm[mi] = ((masks[:, None] >> self._pidx) & 1) != 0
+            ptr = base[mi][:, None] + self._pidx
+            fq = self.fq_len[ptr, gids[mi][:, None]] > 0
+            ok[mi] = (fq | ~reqm[mi]).all(axis=1)
+        ok &= self.bocc[nsel, vcs] == 0
+        oi = ok.nonzero()[0]
+        if len(oi) == 0:
+            return
+        nsel, vcs, pkt, pids, heads, gids, bvc, base, reqm = (
+            nsel[oi], vcs[oi], pkt[oi], pids[oi], heads[oi], gids[oi],
+            bvc[oi], base[oi], reqm[oi],
+        )
+        rows_c, rows_p = reqm.nonzero()
+        win = self._arbitrate(nsel[rows_c], base[rows_c] + rows_p)
+        nwon = np.zeros(len(nsel), dtype=np.int64)
+        np.add.at(nwon, rows_c[win], 1)
+        full = nwon == reqm.sum(axis=1)
+        wr = win & full[rows_c]
+        wrc = rows_c[wr]
+        wrp = rows_p[wr]
+        if len(wrc) == 0:
+            return
+        m_rows = base[wrc] + wrp
+        ovc = self._commit_alloc(
+            m_rows, pids[wrc], heads[wrc], bvc[wrc], gids[wrc]
+        )
+        used[m_rows] = True
+        self._forward_la(m_rows, wrp, pkt[wrc], ovc)
+        self.st_ovcp[nsel[wrc], wrp] = ovc
+        pm = np.zeros(len(nsel), dtype=np.int64)
+        np.add.at(pm, wrc, np.int64(1) << wrp)
+        wc = full.nonzero()[0]
+        nw = nsel[wc]
+        self.st_valid[nw] = True
+        self.st_bypass[nw] = True
+        self.st_pop[nw] = True
+        self.st_vc[nw] = vcs[wc]
+        self.st_pmask[nw] = pm[wc]
+        self._st_n += len(nw)
+        self.c_m2[nw] += 1
+
+    def _buffered_pass_mc(self, used):
+        """Buffered mSA-II with incremental multicast grants.
+
+        A buffered multicast asks only for the not-yet-granted ports of
+        its tree (``mc_granted`` per input VC persists across rounds),
+        wins them incrementally, and pops its buffer slot only on the
+        round that completes the set.  An empty askable set releases
+        the S2 register (the grant set persists on the flit).
+        """
+        nsel = (self.s2_vc >= 0).nonzero()[0]
+        if self._bypass and self._la_n:
+            # the port's mSA-II mux selected the lookahead
+            nsel = nsel[~self.la_valid[nsel]]
+            if len(nsel) == 0:
+                return
+        vcs = self.s2_vc[nsel]
+        slots = self.s2_slot[nsel]
+        pkt = self.buf_pkt[nsel, vcs, slots]
+        pids = pkt >> 3
+        base = nsel - nsel % P
+        r_loc = (nsel // P) % self.R
+        mcm = self.p_mcast[pids]
+        heads = (pkt & _HEAD) != 0
+        gids = self.p_gid[pids]
+        C = len(nsel)
+        bvc = np.zeros(C, dtype=np.int64)
+        routem = np.zeros((C, P), dtype=bool)
+        reqm = np.zeros((C, P), dtype=bool)
+        ui = (~mcm).nonzero()[0]
+        if len(ui):
+            q_u, adv_u = self._route_ports(nsel[ui], pids[ui], pkt[ui])
+            if adv_u is not None:
+                gids[ui] = self.GROUP_ID[
+                    self.p_mcls[pids[ui]], adv_u.astype(np.int64)
+                ]
+            routem[ui, q_u] = True
+            ok_u, bvc_u = self._check_resources(
+                base[ui] + q_u, pids[ui], heads[ui], gids[ui]
+            )
+            bvc[ui] = bvc_u
+            reqm[ui, q_u] = ok_u & ~used[base[ui] + q_u]
+        mi = mcm.nonzero()[0]
+        if len(mi):
+            masks = self.MC_PORTS[self.p_src[pids[mi]], r_loc[mi]]
+            routem[mi] = ((masks[:, None] >> self._pidx) & 1) != 0
+            granted = self.mc_granted[nsel[mi], vcs[mi]]
+            remaining = routem[mi] \
+                & (((granted[:, None] >> self._pidx) & 1) == 0)
+            ptr = base[mi][:, None] + self._pidx
+            fq = self.fq_len[ptr, gids[mi][:, None]] > 0
+            reqm[mi] = remaining & fq & ~used[ptr]
+        askany = reqm.any(axis=1)
+        ri = (~askany).nonzero()[0]
+        if len(ri):
+            self.buf_stage[nsel[ri], vcs[ri], slots[ri]] = _ST_NONE
+            self.s2_vc[nsel[ri]] = -1
+            self._s2_n -= len(ri)
+        ai = askany.nonzero()[0]
+        if len(ai) == 0:
+            return
+        nsel, vcs, slots, pkt, pids, heads, gids, bvc, base, routem, \
+            reqm = (
+                nsel[ai], vcs[ai], slots[ai], pkt[ai], pids[ai],
+                heads[ai], gids[ai], bvc[ai], base[ai], routem[ai],
+                reqm[ai],
+            )
+        rows_c, rows_p = reqm.nonzero()
+        win = self._arbitrate(nsel[rows_c], base[rows_c] + rows_p)
+        wrc = rows_c[win]
+        wrp = rows_p[win]
+        m_rows = base[wrc] + wrp
+        ovc = self._commit_alloc(
+            m_rows, pids[wrc], heads[wrc], bvc[wrc], gids[wrc]
+        )
+        if self._bypass:
+            self._forward_la(m_rows, wrp, pkt[wrc], ovc)
+        self.st_ovcp[nsel[wrc], wrp] = ovc
+        grantm = np.zeros(len(nsel), dtype=np.int64)
+        np.add.at(grantm, wrc, np.int64(1) << wrp)
+        gi = (grantm != 0).nonzero()[0]
+        ng = nsel[gi]
+        gvc = vcs[gi]
+        newg = self.mc_granted[ng, gvc] | grantm[gi]
+        self.mc_granted[ng, gvc] = newg
+        routebits = (routem[gi] * (np.int64(1) << self._pidx)) \
+            .sum(axis=1)
+        fully = (routebits & ~newg) == 0
+        fi = fully.nonzero()[0]
+        if len(fi):
+            nf = ng[fi]
+            self.buf_stage[nf, gvc[fi], slots[gi][fi]] = _ST_GRANTED
+            self._gr_n += len(fi)
+            self._gr_port[nf] += 1
+            self.s2_vc[nf] = -1
+            self._s2_n -= len(fi)
+        self.st_valid[ng] = True
+        self.st_bypass[ng] = False
+        self.st_pop[ng] = fully
+        self.st_vc[ng] = gvc
+        self.st_pmask[ng] = grantm[gi]
+        self._st_n += len(ng)
+        self.c_m2[ng] += 1
 
     def _forward_la(self, m, q, pkt, ovc):
         """NRC + lookahead generation for granted non-local branches."""
@@ -1075,22 +1658,27 @@ class ArraySimulator:
         heads = self.bhead[ports]
         occ = self.bocc[ports]
         ar = np.arange(len(ports))
-        if self._gr_n == 0:
-            # no GRANTED flit anywhere: every occupied VC is eligible,
-            # and every selected port has one (bocc.any above)
+        grp = self._gr_port[ports] if self._gr_n else None
+        if grp is None or not grp.any():
+            # no GRANTED flit at any candidate port: every occupied VC
+            # is eligible, and every selected port has one (bocc.any)
             elig = occ > 0
-            rank = (self._vcidx[None, :] - self.rrptr[ports][:, None]) \
-                % self.V
+            rank = self.RANK_TAB[self.rrptr[ports]]
             rank[~elig] = self.V
             win = rank.argmin(axis=1)
             slot = heads[ar, win]
         else:
-            stage_h = self.buf_stage[
-                ports[:, None], self._vcidx[None, :], heads
-            ]
             # a leading GRANTED flit (awaiting next cycle's traversal)
-            # is skipped by oldest_unrequested; anything behind it bids
-            granted = (stage_h == _ST_GRANTED) & (occ > 0)
+            # is skipped by oldest_unrequested; anything behind it
+            # bids.  Only ports actually holding a GRANTED flit pay
+            # the stage gather.
+            granted = np.zeros(occ.shape, dtype=bool)
+            gi = grp.nonzero()[0]
+            pg = ports[gi]
+            stage_h = self.buf_stage[
+                pg[:, None], self._vcidx[None, :], heads[gi]
+            ]
+            granted[gi] = (stage_h == _ST_GRANTED) & (occ[gi] > 0)
             elig = occ > granted
             emask = elig.any(axis=1)
             ei = emask.nonzero()[0]
@@ -1102,8 +1690,7 @@ class ArraySimulator:
                 granted = granted[ei]
                 elig = elig[ei]
                 ar = ar[: len(ei)]
-            rank = (self._vcidx[None, :] - self.rrptr[ports][:, None]) \
-                % self.V
+            rank = self.RANK_TAB[self.rrptr[ports]]
             rank[~elig] = self.V
             win = rank.argmin(axis=1)
             slot = (heads[ar, win] + granted[ar, win]) % self.D
@@ -1129,6 +1716,25 @@ class ArraySimulator:
             and not self.q_len.any()
         )
 
+    def _lane_quiet(self, b):
+        """The quiescence predicate restricted to one replica lane."""
+        s = slice(b * self.N1, (b + 1) * self.N1)
+        r = slice(b * self.R, (b + 1) * self.R)
+        tr = slice(self.N + b * self.R, self.N + (b + 1) * self.R)
+        return (
+            not self.fl_valid[s].any()
+            and not self.lv_valid[s].any()
+            and not self.la_valid[s].any()
+            and not self.st_valid[s].any()
+            and not self.ej_valid[r].any()
+            and not self.pend_valid[r].any()
+            and not self.cr_valid[:, s].any()
+            and not self.cr_valid[:, tr].any()
+            and not (self.s2_vc[s] >= 0).any()
+            and not self.bocc[s].any()
+            and not self.q_len[r].any()
+        )
+
     def _check_watchdog(self):
         if self._net_ejections != self._last_progress:
             self._last_progress = self._net_ejections
@@ -1143,6 +1749,99 @@ class ArraySimulator:
                 self._watchdog_armed = True
             self._watchdog_start = self.cycle
 
+    def _lane_ej_counts(self):
+        """Total flits ejected per lane (from the per-router counters,
+        so the hot loop carries no extra bookkeeping)."""
+        return self.c_ej.reshape(self.B, self.R).sum(axis=1)
+
+    def _check_watchdog_batch(self):
+        """Per-lane watchdog: a stalled replica is killed (its state
+        zeroed, its sources masked) instead of raising, so the other
+        lanes keep running lockstep.  The killed lane's counters stay
+        frozen at their trip-time values and its stop reason is
+        recorded for the per-lane summaries.
+
+        The check is amortised: no lane can trip before ``_wd_next``
+        (the earliest stale horizon observed last time), so the hot
+        loop pays a single integer compare per cycle.  A lane that
+        made progress inside a skipped span is re-timestamped at check
+        time — later than the actual ejection, which only makes the
+        safety net more lenient, never byte-visible on healthy runs.
+        """
+        if self.cycle < self._wd_next:
+            return
+        counts = self._lane_ej_counts()
+        prog = counts != self._lane_progress
+        if prog.any():
+            self._lane_progress[prog] = counts[prog]
+            self._lane_wd_start[prog] = self.cycle
+            self._lane_wd_armed[prog] = False
+        stale = (
+            self._lane_alive & ~prog
+            & (self.cycle - self._lane_wd_start > WATCHDOG_CYCLES)
+        )
+        for b in stale.nonzero()[0]:
+            if self._lane_quiet(b):
+                self._lane_wd_armed[b] = False
+            elif self._lane_wd_armed[b]:
+                self._lane_stop[b] = "watchdog"
+                self._kill_lane(int(b))
+                continue
+            else:
+                self._lane_wd_armed[b] = True
+            self._lane_wd_start[b] = self.cycle
+        alive = self._lane_alive
+        if alive.any():
+            self._wd_next = (
+                int(self._lane_wd_start[alive].min()) + WATCHDOG_CYCLES + 1
+            )
+        else:
+            self._wd_next = self.cycle + WATCHDOG_CYCLES + 1
+
+    def _kill_lane(self, b):
+        """Zero one lane's in-flight state and mask its sources,
+        keeping the global emptiness counters consistent."""
+        s = slice(b * self.N1, (b + 1) * self.N1)
+        r = slice(b * self.R, (b + 1) * self.R)
+        tr = slice(self.N + b * self.R, self.N + (b + 1) * self.R)
+        self._fl_n -= int(self.fl_valid[s].sum())
+        self.fl_valid[s] = False
+        self._lv_n -= int(self.lv_valid[s].sum())
+        self.lv_valid[s] = False
+        self._la_n -= int(self.la_valid[s].sum())
+        self.la_valid[s] = False
+        self._st_n -= int(self.st_valid[s].sum())
+        self.st_valid[s] = False
+        self._ej_n -= int(self.ej_valid[r].sum())
+        self.ej_valid[r] = False
+        self._pend_n -= int(self.pend_valid[r].sum())
+        self.pend_valid[r] = False
+        for slot in (0, 1):
+            self._cr_n[slot] -= int(self.cr_valid[slot, s].sum())
+            self._cr_n[slot] -= int(self.cr_valid[slot, tr].sum())
+        self.cr_valid[:, s] = False
+        self.cr_valid[:, tr] = False
+        self._s2_n -= int((self.s2_vc[s] >= 0).sum())
+        self.s2_vc[s] = -1
+        # count the GRANTED flits actually held in this lane's rings
+        ring = (np.arange(self.D)[None, None, :]
+                - self.bhead[s][:, :, None]) % self.D
+        held = ring < self.bocc[s][:, :, None]
+        self._gr_n -= int(
+            (held & (self.buf_stage[s] == _ST_GRANTED)).sum()
+        )
+        self._gr_port[s] = 0
+        self._bocc_n -= int(self.bocc[s].sum())
+        self.bocc[s] = 0
+        self.buf_stage[s] = _ST_NONE
+        self.mc_granted[s] = 0
+        self.q_len[r] = 0
+        self.backlog[r] = False
+        self._bl_any = bool(self.backlog.any())
+        self._src_live[r] = False
+        self._any_dead = True
+        self._lane_alive[b] = False
+
     # ------------------------------------------------------------------
     # measurement surface
     # ------------------------------------------------------------------
@@ -1154,6 +1853,12 @@ class ArraySimulator:
 
     def run_experiment(self, warmup=1_000, measure=10_000, drain=5_000):
         """Byte-identical mirror of ``Simulator.run_experiment``."""
+        if self.B > 1:
+            raise ValueError(
+                "run_experiment on a batched ArraySimulator is "
+                "ambiguous; use run_experiment_batch for per-seed "
+                "WindowStats"
+            )
         stop_reason = "completed"
         try:
             self.run(warmup)
@@ -1201,6 +1906,62 @@ class ArraySimulator:
             stop_reason=stop_reason,
         )
 
+    def run_experiment_batch(self, warmup=1_000, measure=10_000,
+                             drain=5_000):
+        """One window per replica lane, all lanes stepped in lockstep.
+
+        Lane *k*'s ``WindowStats`` is byte-identical to a single-seed
+        run at ``seeds[k]``: the lanes share no draw streams and no
+        router state, only the python/numpy dispatch overhead.  A
+        stalled lane is killed by the per-lane watchdog (reported as
+        ``stop_reason="watchdog"``); the drain budget is shared, so a
+        lane still busy when it runs out reports ``"max-cycles"``.
+        """
+        if self.B == 1:
+            return [self.run_experiment(
+                warmup=warmup, measure=measure, drain=drain
+            )]
+        self.run(warmup)
+        start_msgs = self._lane_msgs.copy()
+        start_byp = self._lane_port_sums(self.c_byp)
+        start_xin = self._lane_port_sums(self.c_st)
+        start_ej = self._lane_node_sums(self.n_ej)
+        self.run(measure)
+        end_ej = self._lane_node_sums(self.n_ej)
+        end_msgs = self._lane_msgs.copy()
+        had_sources = self._sources_on
+        self._sources_on = False
+        drained = 0
+        while drained < drain and not self._quiet():
+            self._step()
+            drained += 1
+        exhausted = drained >= drain and not self._quiet()
+        self._sources_on = had_sources
+        delta_byp = self._lane_port_sums(self.c_byp) - start_byp
+        delta_xin = self._lane_port_sums(self.c_st) - start_xin
+        rate = (self._traffic.injection_rate
+                if self._traffic is not None else float("nan"))
+        out = []
+        for b in range(self.B):
+            stop = self._lane_stop[b]
+            if stop == "completed" and exhausted \
+                    and not self._lane_quiet(b):
+                stop = "max-cycles"
+            out.append(summarize_window(
+                self.cfg,
+                self.name,
+                rate,
+                measure,
+                self._message_views(
+                    int(start_msgs[b]), int(end_msgs[b]), lane=b
+                ),
+                int(end_ej[b] - start_ej[b]),
+                int(delta_byp[b]),
+                int(delta_xin[b]),
+                stop_reason=stop,
+            ))
+        return out
+
     def activity(self):
         """Aggregate router activity since construction (power models)."""
         return self.network.total_router_activity()
@@ -1209,53 +1970,79 @@ class ArraySimulator:
     # stats materialisation
     # ------------------------------------------------------------------
 
-    def _message_views(self, start, end):
+    def _lane_port_sums(self, arr):
+        return arr.reshape(self.B, self.N1).sum(axis=1)
+
+    def _lane_node_sums(self, arr):
+        return arr.reshape(self.B, self.R).sum(axis=1)
+
+    def _lane_count(self, b):
+        return int(self._lane_msgs[b]) if self.B > 1 else self._mcount
+
+    def _message_views(self, start, end, lane=0):
         creation = self.p_creation
         completion = self.p_completion
         nflits = self.p_nflits
+        mcast = self.p_mcast
+        if self.B > 1:
+            sel = (self.p_lane[: self._mcount] == lane).nonzero()[0]
+            idx = sel[start:end]
+        else:
+            idx = range(start, end)
         return [
-            _MsgView(int(creation[i]), int(completion[i]), int(nflits[i]))
-            for i in range(start, end)
+            _MsgView(int(creation[i]), int(completion[i]),
+                     int(nflits[i]), bool(mcast[i]))
+            for i in idx
         ]
 
-    def _fold(self, arr):
-        return arr.reshape(self.R, P).sum(axis=1)
+    def _fold(self, arr, lane):
+        lo = lane * self.N1
+        return arr[lo:lo + self.N1].reshape(self.R, P).sum(axis=1)
 
-    def _router_counters(self):
-        bw = self._fold(self.c_bw)
-        br = self._fold(self.c_br)
-        st = self._fold(self.c_st)
-        byp = self._fold(self.c_byp)
-        link = self._fold(self.c_link)
-        m1 = self._fold(self.c_m1)
-        m2 = self._fold(self.c_m2)
-        las = self._fold(self.c_las)
-        lar = self._fold(self.c_lar)
+    def _router_counters(self, lane=0):
+        bw = self._fold(self.c_bw, lane)
+        br = self._fold(self.c_br, lane)
+        st = self._fold(self.c_st, lane)
+        byp = self._fold(self.c_byp, lane)
+        link = self._fold(self.c_link, lane)
+        m1 = self._fold(self.c_m1, lane)
+        m2 = self._fold(self.c_m2, lane)
+        las = self._fold(self.c_las, lane)
+        lar = self._fold(self.c_lar, lane)
+        ej0 = lane * self.R
+        if self._mc:
+            xout = self._fold(self.c_xout, lane)
+            credits = byp + br
+        else:
+            # unicast: every traversal has one branch and pops
+            xout = st
+            credits = st
         out = []
         for r in range(self.R):
             out.append(ActivityCounters(
                 buffer_writes=int(bw[r]),
                 buffer_reads=int(br[r]),
                 xbar_input_traversals=int(st[r]),
-                xbar_output_traversals=int(st[r]),
+                xbar_output_traversals=int(xout[r]),
                 link_traversals=int(link[r]),
-                ejections=int(self.c_ej[r]),
+                ejections=int(self.c_ej[ej0 + r]),
                 bypasses=int(byp[r]),
                 msa1_grants=int(m1[r]),
                 msa2_grants=int(m2[r]),
                 la_sent=int(las[r]),
                 la_received=int(lar[r]),
-                credits_sent=int(st[r]),
+                credits_sent=int(credits[r]),
             ))
         return out
 
-    def _nic_counters(self):
+    def _nic_counters(self, lane=0):
+        lo = lane * self.R
         out = []
         for r in range(self.R):
             out.append(ActivityCounters(
-                injections=int(self.n_inj[r]),
-                ejected_flits=int(self.n_ej[r]),
-                messages_submitted=int(self.n_sub[r]),
-                la_sent=int(self.n_las[r]),
+                injections=int(self.n_inj[lo + r]),
+                ejected_flits=int(self.n_ej[lo + r]),
+                messages_submitted=int(self.n_sub[lo + r]),
+                la_sent=int(self.n_las[lo + r]),
             ))
         return out

@@ -11,10 +11,13 @@ workload it supports.  Two backends ship:
   and the only backend that supports every workload axis.
 * ``array`` — the struct-of-arrays numpy kernel of
   :mod:`repro.noc.array_backend`, which executes each DESIGN.md §1
-  phase as a vectorized pass over all routers at once.  It supports a
-  documented subset of the workload space (unicast mixes on xy/yx/
-  o1turn routing, any pattern and injection process) and *rejects*
-  everything else with a clear error rather than silently diverging.
+  phase as a vectorized pass over all routers at once — and, given
+  ``seeds=[...]``, over all replica lanes at once (one batched kernel
+  pass simulates N independent seeds).  It supports a documented
+  subset of the workload space (unicast and XY-tree multicast mixes on
+  xy/yx/o1turn/valiant routing, any pattern and injection process) and
+  *rejects* everything else — ``separate_st_lt``, faults, probes —
+  with a clear error rather than silently diverging.
 
 The registry is name → lazy loader, so importing :mod:`repro.noc`
 never pays for numpy unless the array backend is actually selected.
@@ -52,7 +55,7 @@ def resolve_backend(name):
     except KeyError:
         raise ValueError(
             f"unknown simulation backend {name!r}; "
-            f"choose from {list(backend_names())}"
+            f"choose from: {', '.join(backend_names())}"
         ) from None
     return loader()
 

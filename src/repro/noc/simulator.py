@@ -63,21 +63,28 @@ class Simulator:
     """
 
     def __new__(cls, config=None, traffic=None, name="", gated=True,
-                backend="object"):
+                backend="object", seeds=None):
         if cls is Simulator and backend != "object":
             from repro.noc.backend import resolve_backend
 
             factory = resolve_backend(backend)
             # the factory's product is not a Simulator subclass, so
             # Python skips Simulator.__init__ on the returned instance
-            return factory(config, traffic=traffic, name=name, gated=gated)
+            return factory(config, traffic=traffic, name=name, gated=gated,
+                           seeds=seeds)
         return super().__new__(cls)
 
     #: registry name of this backend (DESIGN.md §9)
     backend = "object"
 
     def __init__(self, config, traffic=None, name="", gated=True,
-                 backend="object"):
+                 backend="object", seeds=None):
+        if seeds is not None:
+            raise ValueError(
+                "multi-seed batching (seeds=[...]) requires "
+                "backend='array'; the object loop runs one replica per "
+                "Simulator"
+            )
         self.cfg = config
         self.name = name or ("proposed" if config.bypass else "baseline")
         self.network = MeshNetwork(config)

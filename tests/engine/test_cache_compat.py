@@ -269,3 +269,80 @@ class TestBackendIsNotAnIdentityAxis:
         payload["backend"] = "fpga"
         with pytest.raises(ValueError, match=r"fpga.*array.*object"):
             JobSpec.from_dict(payload)
+
+    def test_unknown_backend_job_fails_structurally_not_with_traceback(self):
+        # a sick payload surfaces as a JobFailure naming the job's
+        # content address, and the rest of the batch stands
+        from repro.engine.executor import Executor
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        good = JobSpec(
+            config=proposed_network(), mix=UNIFORM_UNICAST, rate=0.1,
+            warmup=50, measure=150, drain=200,
+        )
+        bad = object.__new__(JobSpec)
+        object.__setattr__(bad, "__dict__", dict(good.__dict__))
+        object.__setattr__(bad, "backend", "fpga")  # skips validation
+        results = Executor().run([bad, good])
+        assert results[0].stop_reason == "failed"
+        assert results[1].stop_reason == "completed"
+        failure = Executor().backend.run([bad])[0]
+        assert bad.cache_key[:12] in failure.error
+        assert "fpga" in failure.error
+
+
+class TestBatchingIsNotAnIdentityAxis:
+    """A batched multi-seed run is an *execution* detail like the
+    backend: it fans in to N ordinary per-seed cache entries whose
+    content addresses — and bytes — are identical to N single-seed
+    runs.  JobSpec has no seeds/batch field at all, so no encoding can
+    ever grow one."""
+
+    def _replicas(self, n=3):
+        from dataclasses import replace
+        from repro.traffic.mix import UNIFORM_UNICAST
+
+        base = JobSpec(
+            config=proposed_network(),
+            mix=UNIFORM_UNICAST,
+            rate=0.1,
+            warmup=50,
+            measure=150,
+            drain=200,
+            backend="array",
+        )
+        return [replace(base, seed=7 + 100_003 * i) for i in range(n)]
+
+    def test_batched_run_fans_into_per_seed_cache_entries(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.executor import Executor
+
+        jobs = self._replicas()
+        cache = ResultCache(tmp_path / "cache")
+        ex = Executor(cache=cache)
+        batched = ex.run(jobs)
+        assert ex.executed == len(jobs)
+        # one ordinary entry per seed, each hit by a later single run
+        for job, stats in zip(jobs, batched):
+            assert cache.get(job).to_dict() == stats.to_dict()
+        again = Executor(cache=cache).run(jobs)
+        assert [s.to_dict() for s in again] == [
+            s.to_dict() for s in batched
+        ]
+
+    def test_batched_results_are_byte_identical_to_single_runs(self):
+        jobs = self._replicas()
+        from repro.engine.executor import Executor
+
+        batched = Executor().run(jobs)
+        singles = [job.run() for job in jobs]
+        assert [json.dumps(s.to_dict(), sort_keys=True) for s in batched] \
+            == [json.dumps(s.to_dict(), sort_keys=True) for s in singles]
+
+    def test_run_batch_matches_per_seed_run(self):
+        from dataclasses import replace
+
+        jobs = self._replicas(2)
+        lanes = jobs[0].run_batch([j.seed for j in jobs])
+        for job, lane in zip(jobs, lanes):
+            assert lane.to_dict() == replace(job, seed=job.seed).run().to_dict()

@@ -53,13 +53,15 @@ MULTI_FLIT = TrafficMix(
 )
 
 
-def run_backend(backend, routing="xy", pattern="uniform",
-                injection="bernoulli", mix=UNIFORM_UNICAST, bypass=True,
-                rate=0.14, k=4, seed=11):
-    """One experiment window; returns (stats bytes, router counters,
-    NIC counters) so comparisons cover every observable surface."""
+def _point(routing="xy", pattern="uniform", injection="bernoulli",
+           mix=UNIFORM_UNICAST, bypass=True, rate=0.14, k=4, seed=11):
+    """(config, traffic) for one operating point of the matrix."""
     alg = make_routing(routing)
-    vcs = routed_vc_config() if routing == "o1turn" else proposed_vc_config()
+    vcs = (
+        routed_vc_config()
+        if routing in ("o1turn", "valiant")
+        else proposed_vc_config()
+    )
     cfg = NocConfig(k=k, vcs=vcs, bypass=bypass, routing=alg)
     traffic = SyntheticTraffic(
         mix,
@@ -68,13 +70,35 @@ def run_backend(backend, routing="xy", pattern="uniform",
         pattern=None if pattern == "uniform" else make_pattern(pattern),
         process=None if injection == "bernoulli" else make_process(injection),
     )
-    sim = Simulator(cfg, traffic=traffic, backend=backend)
-    stats = sim.run_experiment(**FAST)
+    return cfg, traffic
+
+
+def _observables(stats, network):
     return (
         json.dumps(stats.to_dict(), sort_keys=True),
-        [s.as_dict() for s in sim.network.router_stats],
-        [s.as_dict() for s in sim.network.nic_stats],
+        [s.as_dict() for s in network.router_stats],
+        [s.as_dict() for s in network.nic_stats],
     )
+
+
+def run_backend(backend, **kwargs):
+    """One experiment window; returns (stats bytes, router counters,
+    NIC counters) so comparisons cover every observable surface."""
+    cfg, traffic = _point(**kwargs)
+    sim = Simulator(cfg, traffic=traffic, backend=backend)
+    stats = sim.run_experiment(**FAST)
+    return _observables(stats, sim.network)
+
+
+def run_batched(seeds, **kwargs):
+    """One batched multi-seed window; returns the per-lane observable
+    triples, in seed order."""
+    cfg, traffic = _point(**kwargs)
+    sim = Simulator(cfg, traffic=traffic, backend="array", seeds=seeds)
+    stats = sim.run_experiment_batch(**FAST)
+    return [
+        _observables(st, sim.lane_network(b)) for b, st in enumerate(stats)
+    ]
 
 
 def assert_equivalent(**kwargs):
@@ -82,11 +106,11 @@ def assert_equivalent(**kwargs):
 
 
 class TestEquivalenceMatrix:
-    """The ISSUE's {bernoulli,onoff} × {xy,o1turn} × {uniform,
+    """The ISSUE's {bernoulli,onoff} × {xy,o1turn,valiant} × {uniform,
     transpose,tornado} matrix, byte-identical on every surface."""
 
     @pytest.mark.parametrize("injection", ["bernoulli", "onoff"])
-    @pytest.mark.parametrize("routing", ["xy", "o1turn"])
+    @pytest.mark.parametrize("routing", ["xy", "o1turn", "valiant"])
     @pytest.mark.parametrize("pattern", ["uniform", "transpose", "tornado"])
     def test_window_stats_and_counters_byte_identical(
         self, injection, routing, pattern
@@ -94,6 +118,71 @@ class TestEquivalenceMatrix:
         assert_equivalent(
             routing=routing, pattern=pattern, injection=injection
         )
+
+
+class TestMulticastEquivalence:
+    """XY-tree broadcast fanout (the k²-scaling traffic): the mixed
+    broadcast/unicast mix, byte-identical on every observable,
+    including when the unicasts route o1turn or valiant around the XY
+    multicast trees."""
+
+    @pytest.mark.parametrize("routing", ["xy", "o1turn", "valiant"])
+    def test_mixed_mix_byte_identical(self, routing):
+        assert_equivalent(mix=MIXED_TRAFFIC, routing=routing, rate=0.05)
+
+    def test_mixed_mix_saturating(self):
+        assert_equivalent(mix=MIXED_TRAFFIC, rate=0.12)
+
+    def test_mixed_mix_no_bypass(self):
+        assert_equivalent(mix=MIXED_TRAFFIC, rate=0.05, bypass=False)
+
+
+class TestBatchedLanes:
+    """The batch axis: lane *k* of ``seeds=[...]`` must be
+    byte-identical — WindowStats JSON, per-router counters, per-NIC
+    counters — to a single-seed array run (and, transitively through
+    the equivalence matrix above, to the object oracle)."""
+
+    SEEDS = [3, 101]
+
+    @pytest.mark.parametrize("injection", ["bernoulli", "onoff"])
+    @pytest.mark.parametrize("routing", ["xy", "o1turn", "valiant"])
+    @pytest.mark.parametrize("pattern", ["uniform", "transpose"])
+    def test_lanes_match_single_seed_runs(self, injection, routing, pattern):
+        kwargs = dict(routing=routing, pattern=pattern, injection=injection)
+        lanes = run_batched(self.SEEDS, **kwargs)
+        for seed, lane in zip(self.SEEDS, lanes):
+            assert lane == run_backend("array", seed=seed, **kwargs)
+
+    def test_multicast_lanes_match_single_seed_runs(self):
+        kwargs = dict(mix=MIXED_TRAFFIC, rate=0.05)
+        lanes = run_batched(self.SEEDS, **kwargs)
+        for seed, lane in zip(self.SEEDS, lanes):
+            assert lane == run_backend("array", seed=seed, **kwargs)
+
+    def test_lanes_match_the_object_oracle(self):
+        lanes = run_batched([11, 42], routing="valiant")
+        for seed, lane in zip([11, 42], lanes):
+            assert lane == run_backend("object", seed=seed, routing="valiant")
+
+    def test_template_seed_is_ignored(self):
+        cfg, traffic = _point(seed=999)
+        sim = Simulator(cfg, traffic=traffic, backend="array", seeds=[3, 11])
+        stats = sim.run_experiment_batch(**FAST)
+        singles = [
+            run_backend("array", seed=s)[0] for s in (3, 11)
+        ]
+        assert [
+            json.dumps(st.to_dict(), sort_keys=True) for st in stats
+        ] == singles
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Simulator(NocConfig(k=4), backend="array", seeds=[])
+
+    def test_object_backend_rejects_seeds(self):
+        with pytest.raises(ValueError, match="backend='array'"):
+            Simulator(NocConfig(k=4), seeds=[3, 11])
 
 
 class TestEquivalenceEdges:
@@ -167,19 +256,25 @@ class TestBackendSelection:
 
 class TestSupportMatrixRejections:
     """Everything outside the support matrix fails loudly, never
-    silently diverges."""
+    silently diverges.  Broadcast mixes and valiant routing moved to
+    the *supported* side (TestMulticastEquivalence /
+    TestEquivalenceMatrix above); what remains rejected is
+    ``separate_st_lt``, faults, probes, non-synthetic sources — and
+    broadcast traffic on a config without router-level multicast,
+    which would need per-destination flit replication."""
 
-    def test_broadcast_mix_rejected(self):
-        sim = Simulator(NocConfig(k=4), backend="array")
-        with pytest.raises(ValueError, match="broadcast"):
+    def test_broadcast_on_multicast_free_config_rejected(self):
+        sim = Simulator(NocConfig(k=4, multicast=False), backend="array")
+        with pytest.raises(ValueError, match="multicast=False"):
             sim.attach_traffic(SyntheticTraffic(MIXED_TRAFFIC, 0.05, seed=7))
 
-    def test_valiant_routing_rejected(self):
-        cfg = NocConfig(
-            k=4, vcs=routed_vc_config(), routing=make_routing("valiant")
-        )
-        with pytest.raises(ValueError, match="valiant"):
-            Simulator(cfg, backend="array")
+    def test_broadcast_under_yx_routing_rejected(self):
+        # yx cannot share the network with XY multicast trees; the
+        # array backend mirrors the object backend's rejection
+        cfg = NocConfig(k=4, routing=make_routing("yx"))
+        sim = Simulator(cfg, backend="array")
+        with pytest.raises(ValueError, match="multicast trees are XY-only"):
+            sim.attach_traffic(SyntheticTraffic(MIXED_TRAFFIC, 0.05, seed=7))
 
     def test_separate_st_lt_rejected(self):
         cfg = NocConfig(k=4, bypass=False, separate_st_lt=True)
