@@ -37,6 +37,11 @@ setup(
     # it.  It was previously undeclared and only present via
     # transitive installs — see the packaging note in README.md.
     install_requires=["numpy"],
+    extras_require={
+        # the HTTP sweep service (repro.service, `repro serve`); the
+        # engine and CLI below it are fully usable without it
+        "service": ["flask"],
+    },
     entry_points={
         "console_scripts": [
             "repro = repro.engine.cli:main",

@@ -26,7 +26,13 @@ import logging
 import math
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: no advisory file locking
+    fcntl = None
 
 from repro.noc.metrics import WindowStats
 
@@ -59,6 +65,11 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: ``.meta`` extension keeps it outside the ``*.json`` entry glob and
 #: the ``*.telemetry`` sidecar glob.
 COUNTERS_FILE = "counters.meta"
+
+#: Lock file beside ``counters.meta`` serializing counter merges across
+#: processes sharing one cache root (e.g. the sweep service's worker
+#: pool).  The ``.lock`` extension keeps it outside every content glob.
+COUNTERS_LOCK = "counters.lock"
 
 _COUNTER_KEYS = ("hits", "misses", "puts")
 
@@ -220,20 +231,45 @@ class ResultCache:
             data = {}
         return {key: int(data.get(key, 0)) for key in _COUNTER_KEYS}
 
+    @contextmanager
+    def _counters_lock(self):
+        """Exclusive advisory lock over the ``counters.meta`` merge.
+
+        The lock file lives beside ``counters.meta`` (never the counters
+        file itself, which is replaced atomically and would drop the
+        lock with the old inode).  ``flock`` locks are per open file
+        description, so the guard serializes caches sharing one root
+        both across processes and across threads in one process.
+        """
+        if fcntl is None:  # no flock: degrade to the unserialized merge
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / COUNTERS_LOCK, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the lock
+
     def flush_counters(self):
         """Fold unflushed instance tallies into ``counters.meta``.
 
         Returns the persistent totals after the merge.  Called by the
         executor after each batch; safe to call at any time (flushing
-        twice adds nothing).
+        twice adds nothing).  The read-modify-write is serialized by an
+        ``flock``-guarded lock file, so executors sharing a cache root
+        (the sweep service's worker pool, or parallel CLI runs) never
+        lose each other's counts to an interleaved merge.
         """
         current = self.counters()
         if all(current[key] == self._flushed[key] for key in _COUNTER_KEYS):
             return self._read_counters_file()
-        totals = self._read_counters_file()
-        for key in _COUNTER_KEYS:
-            totals[key] += current[key] - self._flushed[key]
-        self._write_atomic(self.root / COUNTERS_FILE, totals)
+        with self._counters_lock():
+            totals = self._read_counters_file()
+            for key in _COUNTER_KEYS:
+                totals[key] += current[key] - self._flushed[key]
+            self._write_atomic(self.root / COUNTERS_FILE, totals)
         self._flushed = current
         return totals
 
@@ -254,6 +290,19 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*.corrupt"))
 
+    @staticmethod
+    def _size(path):
+        """``st_size``, tolerating files that vanished since the glob.
+
+        Another process (a service worker, a concurrent ``repro cache
+        clear``) may unlink or quarantine an entry between our glob and
+        the stat; a vanished file simply no longer occupies bytes.
+        """
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
     def stats(self):
         """Occupancy and counter summary (read-only).
 
@@ -266,9 +315,9 @@ class ResultCache:
         return {
             "root": str(self.root),
             "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "bytes": sum(self._size(p) for p in entries),
             "telemetry_sidecars": len(sidecars),
-            "telemetry_bytes": sum(p.stat().st_size for p in sidecars),
+            "telemetry_bytes": sum(self._size(p) for p in sidecars),
             "quarantined": len(self._quarantined()),
             "session": self.counters(),
             "lifetime": self.lifetime_counters(),
@@ -292,8 +341,10 @@ class ResultCache:
                 *self._sidecars(),
                 *self._quarantined(),
                 *self.root.glob(COUNTERS_FILE),
+                *self.root.glob(COUNTERS_LOCK),
             ):
-                orphan.unlink()
+                # missing_ok: a concurrent clear may have won the race
+                orphan.unlink(missing_ok=True)
         self._flushed = self.counters()
         logger.debug("cleared %d cache entries under %s", removed, self.root)
         return removed

@@ -1,6 +1,6 @@
 """The ``repro`` command line (also reachable as ``python -m repro``).
 
-Five subcommands drive the experiment engine:
+Six subcommands drive the experiment engine:
 
 * ``repro sweep``  — run a latency-throughput sweep for any preset
   config and traffic mix, on the serial or process-pool backend, with
@@ -16,7 +16,10 @@ Five subcommands drive the experiment engine:
 * ``repro stats``  — run one operating point with the periodic metrics
   sampler and print link-utilization heatmaps and congestion figures;
 * ``repro cache``  — inspect (``stats``) or empty (``clear``) the
-  persistent result cache.
+  persistent result cache;
+* ``repro serve``  — put the :mod:`repro.service` sweep API in front of
+  the cache: POSTed JobSpec batches dedup against it and the misses run
+  on a background worker pool (requires Flask, an optional dependency).
 
 Diagnostics go through :mod:`logging` (stderr, ``repro:`` prefix;
 ``-v``/``-q`` select the level); figure and table output — the data a
@@ -864,6 +867,33 @@ def cmd_cache(args):
     return 0
 
 
+def cmd_serve(args):
+    try:
+        from repro.service import create_app
+    except ImportError as exc:  # flask absent: a clean message, not a trace
+        raise ValueError(str(exc)) from None
+    app = create_app(
+        cache_root=args.cache_dir,
+        workers=args.workers,
+        executor=args.executor,
+        backend=args.backend,
+        exec_workers=args.exec_workers,
+        telemetry=args.telemetry,
+    )
+    logger.info(
+        "sweep service on http://%s:%d (cache %s, %d worker thread(s), "
+        "%s executor, %s backend)",
+        args.host, args.port, args.cache_dir, args.workers,
+        args.executor, args.backend,
+    )
+    try:
+        # threaded so a long-running simulation never blocks /healthz
+        app.run(host=args.host, port=args.port, threaded=True)
+    finally:
+        app.extensions["repro"].shutdown()
+    return 0
+
+
 # ------------------------------------------------------- observed points
 
 
@@ -1138,6 +1168,68 @@ def build_parser():
     )
     _add_verbosity_args(stats)
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the sweep API over the result cache "
+        "(HTTP; requires flask)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (default: 8080)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="service worker threads draining the sweep queue "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="engine executor each worker thread runs jobs through "
+        "(default: serial)",
+    )
+    serve.add_argument(
+        "--exec-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process-pool size per worker thread (requires "
+        "--executor process; default: all cores)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="object",
+        help="simulation backend for queued jobs (default: object; an "
+        "execution detail — results and content addresses are "
+        "backend-independent)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="profile fresh runs and store .telemetry sidecars "
+        "(results stay byte-identical)",
+    )
+    _add_verbosity_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("stats", "clear"))

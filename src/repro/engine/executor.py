@@ -24,8 +24,9 @@ import json
 import logging
 import multiprocessing
 import os
+from collections import deque
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 
 from repro.engine.jobspec import JobSpec
 from repro.noc.metrics import WindowStats
@@ -56,28 +57,46 @@ class SerialBackend:
 
     name = "serial"
 
-    def run(self, jobs):
+    @staticmethod
+    def _reject(job):
+        """The JobFailure for an unresolvable backend name, else None.
+
+        An unknown backend (a sick deserialized payload) surfaces as a
+        structured failure naming the job, not as a traceback out of
+        the whole batch; workload-axis rejections still raise like any
+        other bad request.  Shared by :meth:`run` and
+        :meth:`run_profiled` so a sick payload gets the same containment
+        whether or not telemetry is on.
+        """
         from repro.noc.backend import resolve_backend
 
+        try:
+            resolve_backend(job.backend)
+        except ValueError as exc:
+            return JobFailure(
+                error=f"job {job.cache_key[:12]}: {exc}", attempts=1
+            )
+        return None
+
+    def run(self, jobs):
         out = []
         for job in jobs:
-            # an unknown backend name (a sick deserialized payload)
-            # surfaces as a structured failure naming the job, not as
-            # a traceback out of the whole batch; workload-axis
-            # rejections still raise like any other bad request
-            try:
-                resolve_backend(job.backend)
-            except ValueError as exc:
-                out.append(JobFailure(
-                    error=f"job {job.cache_key[:12]}: {exc}", attempts=1
-                ))
-                continue
-            out.append(job.run())
+            failure = self._reject(job)
+            out.append(job.run() if failure is None else failure)
         return out
 
     def run_profiled(self, jobs):
         """Like :meth:`run`, returning ``(stats, telemetry)`` pairs."""
-        return [job.run_profiled() for job in jobs]
+        out = []
+        for job in jobs:
+            failure = self._reject(job)
+            if failure is not None:
+                out.append(
+                    (failure, {"failure": failure.error, "attempts": 1})
+                )
+                continue
+            out.append(job.run_profiled())
+        return out
 
 
 def _run_payload(payload):
@@ -132,6 +151,9 @@ class ProcessPoolBackend:
     def _pool_size(self, n):
         return min(self.workers or os.cpu_count() or 1, n)
 
+    #: how often the dispatch loop polls outstanding handles (seconds)
+    POLL_INTERVAL = 0.02
+
     def _map(self, fn, payloads):
         """Apply ``fn`` to every payload with timeout + retry.
 
@@ -139,6 +161,13 @@ class ProcessPoolBackend:
         ``("ok", value)`` or ``("err", message)``, plus the attempt
         count.  Uses ``apply_async`` (not ``map``) so one sick payload
         fails alone instead of poisoning its whole chunk.
+
+        Dispatch is *windowed*: at most one in-flight job per pool
+        worker, each charged its wall-clock budget from its own
+        dispatch (the moment a worker slot was free to take it) — not
+        from a shared sequential ``get``, which would falsely time out
+        a healthy job queued behind slow ones and, conversely, let a
+        late job run past its budget on credit from earlier fast gets.
         """
         outcomes = [None] * len(payloads)
         attempts = [0] * len(payloads)
@@ -151,24 +180,13 @@ class ProcessPoolBackend:
                     "retrying %d failed job(s) in a fresh pool", len(todo)
                 )
             failed = []
-            pool = multiprocessing.Pool(processes=self._pool_size(len(todo)))
+            slots = self._pool_size(len(todo))
+            pool = multiprocessing.Pool(processes=slots)
             try:
-                handles = [
-                    (i, pool.apply_async(fn, (payloads[i],))) for i in todo
-                ]
-                for i, handle in handles:
-                    attempts[i] += 1
-                    try:
-                        outcomes[i] = ("ok", handle.get(self.timeout))
-                    except multiprocessing.TimeoutError:
-                        outcomes[i] = (
-                            "err",
-                            f"timed out after {self.timeout:g}s",
-                        )
-                        failed.append(i)
-                    except Exception as exc:
-                        outcomes[i] = ("err", f"{type(exc).__name__}: {exc}")
-                        failed.append(i)
+                self._drain(
+                    pool, fn, payloads, todo, slots,
+                    outcomes, attempts, failed,
+                )
             finally:
                 # terminate (not close): reaps workers hung past their
                 # timeout, so a fresh retry pool starts clean
@@ -177,6 +195,80 @@ class ProcessPoolBackend:
             todo = failed
         self.retried = sum(1 for n in attempts if n > 1)
         return outcomes, attempts
+
+    def _drain(self, pool, fn, payloads, todo, slots,
+               outcomes, attempts, failed):
+        """One round of windowed dispatch + ready-polling over ``pool``.
+
+        A job past its deadline is failed immediately, but its (possibly
+        hung) worker is only *presumed* lost: the slot is retired, and
+        re-opened if the straggler finishes after all — so one slow job
+        delays, but never consumes the budget of, the jobs queued behind
+        it.
+        """
+        pending = deque(todo)
+        running = {}  # payload index -> (handle, deadline)
+        stragglers = []  # (handle, give_up_at): timed out, maybe hung
+        while pending or running:
+            while pending and len(running) < slots:
+                i = pending.popleft()
+                attempts[i] += 1
+                deadline = (
+                    None if self.timeout is None
+                    else monotonic() + self.timeout
+                )
+                running[i] = (pool.apply_async(fn, (payloads[i],)), deadline)
+            progressed = False
+            now = monotonic()
+            for i, (handle, deadline) in list(running.items()):
+                if handle.ready():
+                    del running[i]
+                    progressed = True
+                    try:
+                        outcomes[i] = ("ok", handle.get(0))
+                    except Exception as exc:
+                        outcomes[i] = ("err", f"{type(exc).__name__}: {exc}")
+                        failed.append(i)
+                elif deadline is not None and now >= deadline:
+                    del running[i]
+                    progressed = True
+                    outcomes[i] = (
+                        "err", f"timed out after {self.timeout:g}s"
+                    )
+                    failed.append(i)
+                    # the worker gets two more full budgets to prove it
+                    # is slow rather than hung; until then its slot is
+                    # retired so queued jobs are not dispatched into a
+                    # possibly-dead worker's shadow
+                    stragglers.append((handle, now + 2 * self.timeout))
+                    slots -= 1
+            for entry in list(stragglers):
+                handle, give_up_at = entry
+                if handle.ready():
+                    stragglers.remove(entry)
+                    slots += 1  # slow, not hung: re-open the slot
+                    progressed = True
+                elif now >= give_up_at:
+                    stragglers.remove(entry)  # hung: slot stays retired
+                    progressed = True
+            if slots < 1 and not stragglers and pending and not running:
+                # every worker is hung past its grace: fail the queue
+                # rather than wait forever.  The starved jobs go to the
+                # *front* of the retry order so the fresh pool runs them
+                # before re-attempting the jobs that actually hung it.
+                starved = []
+                while pending:
+                    i = pending.popleft()
+                    attempts[i] += 1
+                    outcomes[i] = (
+                        "err", "every pool worker is hung past its "
+                        "job timeout",
+                    )
+                    starved.append(i)
+                failed[:0] = starved
+                return
+            if not progressed:
+                sleep(self.POLL_INTERVAL)
 
     def run(self, jobs):
         jobs = list(jobs)

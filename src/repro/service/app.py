@@ -1,0 +1,69 @@
+"""Flask application factory for the sweep service.
+
+:func:`create_app` builds a fully wired app — front-door cache handle,
+sweep store, started worker pool — so tests drive the whole service
+in-process through Flask's test client and ``python -m repro serve``
+just adds a listening socket on top.  Every piece of mutable state
+hangs off one :class:`ServiceState` in ``app.extensions["repro"]``;
+two apps over different cache roots never share anything but code.
+"""
+
+from __future__ import annotations
+
+try:
+    from flask import Flask
+except ImportError as exc:  # pragma: no cover - exercised without flask
+    raise ImportError(
+        "the sweep service needs Flask, which is an optional dependency; "
+        "install it with 'pip install flask' (or the service extra: "
+        "pip install -e .[service])"
+    ) from exc
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.service.blueprint import bp
+from repro.service.workers import SweepStore, WorkerPool
+
+
+class ServiceState:
+    """Everything one app instance owns: cache, store, worker pool."""
+
+    def __init__(self, cache, store, pool):
+        self.cache = cache
+        self.store = store
+        self.pool = pool
+
+    def shutdown(self, timeout=10.0):
+        """Stop the workers and persist the front-door counters."""
+        self.pool.stop(timeout=timeout)
+        self.cache.flush_counters()
+
+
+def create_app(cache_root=DEFAULT_CACHE_DIR, workers=2, executor="serial",
+               backend="object", exec_workers=None, telemetry=False,
+               executor_factory=None):
+    """Build the sweep-service app over ``cache_root``.
+
+    ``workers`` is the number of service worker threads draining the
+    sweep queue; ``executor``/``exec_workers`` pick the engine executor
+    each thread runs jobs through (``"serial"`` or ``"process"`` with
+    that many processes), and ``backend`` the simulation kernel —
+    mirroring the CLI's ``--executor``/``--workers``/``--backend``.
+    ``executor_factory`` (tests) overrides executor construction with a
+    callable ``(cache) -> Executor``-like object.
+    """
+    app = Flask("repro.service")
+    cache = ResultCache(cache_root)
+    store = SweepStore()
+    pool = WorkerPool(
+        cache_root,
+        store,
+        workers=workers,
+        executor=executor,
+        backend=backend,
+        exec_workers=exec_workers,
+        telemetry=telemetry,
+        executor_factory=executor_factory,
+    ).start()
+    app.extensions["repro"] = ServiceState(cache, store, pool)
+    app.register_blueprint(bp)
+    return app

@@ -1,0 +1,101 @@
+"""HTTP routes of the sweep service (the only Flask-aware view code).
+
+Every handler is a thin translation between HTTP and the Flask-free
+layers: :mod:`~repro.service.schemas` owns the wire shapes,
+:mod:`~repro.service.workers` owns the sweep state and execution.  The
+handlers reach their :class:`~repro.service.app.ServiceState` through
+``current_app.extensions["repro"]``, so the same blueprint serves any
+number of independently configured apps (each test builds its own).
+"""
+
+from __future__ import annotations
+
+from flask import Blueprint, Response, current_app, jsonify, request
+
+from repro.service import schemas
+from repro.service.workers import CACHED, QUEUED, JobRecord
+
+bp = Blueprint("repro_service", __name__)
+
+
+def _state():
+    return current_app.extensions["repro"]
+
+
+@bp.errorhandler(schemas.SchemaError)
+def _bad_request(exc):
+    return jsonify(schemas.error_view(str(exc))), 400
+
+
+@bp.post("/sweeps")
+def post_sweep():
+    """Submit a batch of jobs; cache hits answer instantly, misses queue.
+
+    Dedup happens at the front door: each job's content address is
+    looked up in the shared cache before anything is enqueued, so a
+    re-POST of an already-computed sweep costs one disk read per job
+    and zero simulations.
+    """
+    state = _state()
+    specs = schemas.parse_sweep_request(request.get_json(silent=True))
+    records, misses = [], []
+    for spec in specs:
+        if state.cache.get(spec) is not None:
+            records.append(JobRecord(spec, CACHED))
+        else:
+            record = JobRecord(spec, QUEUED)
+            records.append(record)
+            misses.append(record)
+    state.cache.flush_counters()  # front-door hits/misses count too
+    sweep_id = state.store.create(records)
+    for record in misses:
+        state.pool.submit(record)
+    body = schemas.sweep_view(sweep_id, records, state.pool.queue_depth)
+    return jsonify(body), 201, {"Location": f"/sweeps/{sweep_id}"}
+
+
+@bp.get("/sweeps/<sweep_id>")
+def get_sweep(sweep_id):
+    state = _state()
+    records = state.store.records(sweep_id)
+    if records is None:
+        return jsonify(schemas.error_view(f"no such sweep: {sweep_id}")), 404
+    body = schemas.sweep_view(sweep_id, records, state.pool.queue_depth)
+    return jsonify(body)
+
+
+@bp.get("/results/<key>")
+def get_result(key):
+    """The raw cache-entry bytes for a content address.
+
+    Served verbatim from disk — not re-serialized — so what a client
+    receives is byte-for-byte the entry a CLI run of the same JobSpec
+    would have written (DESIGN.md §10's identity contract, testably).
+    """
+    state = _state()
+    if not schemas.KEY_RE.fullmatch(key):  # also refuses any path tricks
+        return jsonify(schemas.error_view("not a content address")), 404
+    try:
+        payload = (state.cache.root / f"{key}.json").read_bytes()
+    except OSError:
+        return jsonify(schemas.error_view(f"no cached result {key}")), 404
+    return Response(payload, mimetype="application/json")
+
+
+@bp.get("/healthz")
+def healthz():
+    state = _state()
+    return jsonify(
+        {
+            "status": "ok",
+            "workers": state.pool.workers,
+            "queue_depth": state.pool.queue_depth,
+            "executed": state.pool.executed,
+            "cache_root": str(state.cache.root),
+        }
+    )
+
+
+@bp.get("/cache/stats")
+def cache_stats():
+    return jsonify(_state().cache.stats())

@@ -1,0 +1,107 @@
+"""Schema'd JSON value objects of the sweep service (Flask-free).
+
+Every request and response body the service speaks is produced or
+checked here, so the HTTP layer stays a thin translation and the wire
+shapes are testable without Flask.  The one identity rule (DESIGN.md
+§10): a job's identity is its *content address* — the SHA-256 of
+``JobSpec.canonical_json()`` — and nothing the service adds (sweep ids,
+statuses, queue positions) ever enters it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine.jobspec import JobSpec
+
+#: an entry key as it appears on disk: the full SHA-256 content address
+KEY_RE = re.compile(r"[0-9a-f]{64}")
+
+#: refuse unboundedly large batches before validating them job by job
+MAX_JOBS = 4096
+
+
+class SchemaError(ValueError):
+    """A request body that does not match the service schema."""
+
+
+def parse_sweep_request(data):
+    """``{"jobs": [<JobSpec dict>, ...]}`` -> list of JobSpecs.
+
+    Each entry must be a :meth:`JobSpec.to_dict` / :meth:`to_payload`
+    shaped object; validation failures carry the offending index so a
+    client can fix the exact job.  Raises :class:`SchemaError`.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError("request body must be a JSON object")
+    unknown = sorted(set(data) - {"jobs"})
+    if unknown:
+        raise SchemaError(f"unknown request field(s): {', '.join(unknown)}")
+    jobs = data.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise SchemaError('"jobs" must be a non-empty array of job objects')
+    if len(jobs) > MAX_JOBS:
+        raise SchemaError(
+            f"a sweep is limited to {MAX_JOBS} jobs per request, "
+            f"got {len(jobs)}"
+        )
+    specs = []
+    for i, item in enumerate(jobs):
+        if not isinstance(item, dict):
+            raise SchemaError(f"jobs[{i}]: must be a JobSpec object")
+        try:
+            specs.append(JobSpec.from_dict(item))
+        except KeyError as exc:
+            raise SchemaError(
+                f"jobs[{i}]: missing required field {exc.args[0]!r}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"jobs[{i}]: {exc}") from exc
+    return specs
+
+
+def job_view(record):
+    """The wire shape of one job of a sweep."""
+    view = {
+        "key": record.key,
+        "status": record.status,
+        "name": record.spec.name,
+        "rate": record.spec.rate,
+        "result_url": f"/results/{record.key}",
+    }
+    if record.error is not None:
+        view["error"] = record.error
+    return view
+
+
+def summary_view(records, queue_depth):
+    """Status counts, front-door hit rate and current queue depth."""
+    counts = {
+        status: 0
+        for status in ("cached", "queued", "running", "done", "failed")
+    }
+    for record in records:
+        counts[record.status] += 1
+    total = len(records)
+    finished = total - counts["queued"] - counts["running"]
+    return {
+        "total": total,
+        **counts,
+        # jobs answered straight from the cache at submission time
+        "hit_rate": counts["cached"] / total if total else 0.0,
+        "complete": finished == total,
+        "queue_depth": queue_depth,
+    }
+
+
+def sweep_view(sweep_id, records, queue_depth):
+    """The wire shape of a whole sweep (POST response and GET body)."""
+    return {
+        "id": sweep_id,
+        "jobs": [job_view(r) for r in records],
+        "summary": summary_view(records, queue_depth),
+    }
+
+
+def error_view(message):
+    return {"error": message}

@@ -3,6 +3,9 @@
 import dataclasses
 import json
 import math
+import threading
+
+import pytest
 
 from repro.core.presets import proposed_network
 from repro.engine import CACHE_VERSION, JobSpec, ResultCache
@@ -146,6 +149,76 @@ def test_stats_and_clear(tmp_path):
     assert cache.clear() == 2
     assert cache.stats()["entries"] == 0
     assert all(cache.get(j) is None for j in jobs)
+
+
+def test_concurrent_flushes_do_not_lose_counts(tmp_path):
+    """Regression: ``flush_counters()`` did an unlocked read-modify-write
+    of ``counters.meta``, so two executors sharing a cache root (exactly
+    what the sweep service's worker pool does) lost each other's counts.
+    ``flock`` locks are per open file description, so two threads in one
+    process exercise the same interleaving as two processes would.
+    """
+    root = tmp_path / "cache"
+    flushes, workers = 150, 3
+    errors = []
+
+    def churn():
+        try:
+            cache = ResultCache(root)
+            for _ in range(flushes):
+                cache.hits += 1
+                cache.misses += 2
+                cache.flush_counters()
+        except Exception as exc:  # surfaced after join; threads may not fail a test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    totals = ResultCache(root).lifetime_counters()
+    assert totals == {
+        "hits": flushes * workers,
+        "misses": 2 * flushes * workers,
+        "puts": 0,
+    }
+
+
+def test_stats_tolerates_entries_vanishing_mid_scan(tmp_path, monkeypatch):
+    """Regression: ``stats()`` called ``p.stat()`` on globbed entries, so
+    a concurrent ``clear()``/quarantine from another process (or a
+    service worker) that unlinked one between the glob and the stat made
+    the whole scan raise ``FileNotFoundError``.
+    """
+    cache = ResultCache(tmp_path / "cache")
+    jobs = [make_job(rate=r) for r in (0.02, 0.04)]
+    for job in jobs:
+        cache.put(job, job.run())
+    victim = cache.path_for(jobs[0])
+    survivor_bytes = cache.path_for(jobs[1]).stat().st_size
+    real_entries = ResultCache._entries
+
+    def glob_then_lose(self):
+        paths = real_entries(self)
+        victim.unlink(missing_ok=True)  # another process clears mid-scan
+        return paths
+
+    monkeypatch.setattr(ResultCache, "_entries", glob_then_lose)
+    info = cache.stats()  # must not raise
+    assert info["entries"] == 2  # the glob snapshot saw both
+    assert info["bytes"] == survivor_bytes  # the vanished entry counts 0
+
+
+def test_clear_sweeps_the_counter_lock_file(tmp_path):
+    pytest.importorskip("fcntl")  # no lock file on non-POSIX platforms
+    cache = ResultCache(tmp_path / "cache")
+    cache.hits += 1
+    cache.flush_counters()
+    assert (cache.root / "counters.lock").exists()
+    cache.clear()
+    assert list(cache.root.iterdir()) == []
 
 
 def test_clear_sweeps_quarantined_entries(tmp_path):

@@ -193,3 +193,30 @@ def test_domain_errors_exit_cleanly(capsys):
         == 2
     )
     assert "worker count" in capsys.readouterr().err
+
+
+def test_serve_parser_wiring():
+    # the serve subcommand parses its engine axes without needing (or
+    # importing) flask; actually running the server is exercised by
+    # tests/service/test_service.py through the app factory
+    from repro.engine.cli import build_parser, cmd_serve
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "9090", "--workers", "3",
+         "--executor", "process", "--exec-workers", "2",
+         "--backend", "array", "--cache-dir", "somewhere"]
+    )
+    assert args.func is cmd_serve
+    assert args.host == "127.0.0.1"
+    assert args.port == 9090
+    assert args.workers == 3
+    assert args.executor == "process"
+    assert args.exec_workers == 2
+    assert args.backend == "array"
+    assert args.cache_dir == "somewhere"
+
+
+def test_serve_rejects_bad_worker_counts(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--workers", "0"])
+    capsys.readouterr()

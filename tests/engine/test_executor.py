@@ -91,6 +91,22 @@ def _die(_payload):
     os._exit(1)
 
 
+def _nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def make_bad_backend_job():
+    """A JobSpec whose backend name resolves nowhere — the shape of a
+    sick deserialized payload (construction bypasses validation the way
+    drift across a process boundary would)."""
+    good = make_jobs([0.02])[0]
+    bad = object.__new__(JobSpec)
+    object.__setattr__(bad, "__dict__", dict(good.__dict__))
+    object.__setattr__(bad, "backend", "fpga")
+    return bad
+
+
 class _FailingBackend:
     """Stub backend whose every job comes back as a JobFailure."""
 
@@ -157,6 +173,29 @@ class TestRobustness:
         assert ex.last_batch["retried"] == 1
         assert cache.stats()["entries"] == 0
 
+    def test_run_profiled_contains_unknown_backend_like_run(self):
+        """Regression: ``run_profiled()`` lacked the unknown-backend
+        guard that ``run()`` has, so a sick payload crashed a
+        telemetry-enabled sweep that a plain sweep survived."""
+        bad = make_bad_backend_job()
+        backend = SerialBackend()
+        (plain,) = backend.run([bad])
+        ((profiled, telemetry),) = backend.run_profiled([bad])
+        assert isinstance(plain, JobFailure)
+        assert isinstance(profiled, JobFailure)
+        assert profiled.error == plain.error
+        assert "fpga" in profiled.error
+        assert bad.cache_key[:12] in profiled.error
+        assert telemetry == {"failure": profiled.error, "attempts": 1}
+
+    def test_telemetry_executor_survives_unknown_backend(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ex = Executor(telemetry=True, cache=cache)
+        (stats,) = ex.run([make_bad_backend_job()])
+        assert stats.stop_reason == "failed"
+        assert len(ex.last_batch["failures"]) == 1
+        assert cache.stats()["entries"] == 0  # nothing cached
+
     def test_backend_knobs_validated(self):
         with pytest.raises(ValueError):
             ProcessPoolBackend(timeout=0)
@@ -164,6 +203,43 @@ class TestRobustness:
             ProcessPoolBackend(retries=-1)
         backend = make_backend("process", timeout=30.0, retries=2)
         assert backend.timeout == 30.0 and backend.retries == 2
+
+
+class TestDispatchDeadlines:
+    """The process pool charges each job's wall-clock budget from its
+    own dispatch into a free worker slot, never from a shared
+    sequential ``get``."""
+
+    def test_healthy_jobs_behind_a_slow_blocker_are_not_timed_out(self):
+        """Regression: sequential ``handle.get(self.timeout)`` charged a
+        queued job's budget while an over-budget blocker still held the
+        only worker, so healthy jobs (0.2s each, 1s budget) came back as
+        false timeouts."""
+        backend = ProcessPoolBackend(workers=1, timeout=1.0, retries=0)
+        outcomes, attempts = backend._map(_nap, [2.2, 0.2, 0.2])
+        kind, message = outcomes[0]
+        assert kind == "err" and "timed out" in message
+        assert outcomes[1] == ("ok", 0.2)
+        assert outcomes[2] == ("ok", 0.2)
+        assert attempts == [1, 1, 1]
+
+    def test_under_budget_jobs_pass_when_their_sum_exceeds_the_budget(self):
+        # three jobs of 0.45s against a 1s per-job budget: the batch
+        # takes ~1.35s on one worker, and none of that is any single
+        # job's problem (guards against charging from batch submission)
+        backend = ProcessPoolBackend(workers=1, timeout=1.0, retries=0)
+        outcomes, _attempts = backend._map(_nap, [0.45, 0.45, 0.45])
+        assert outcomes == [("ok", 0.45)] * 3
+
+    def test_starved_jobs_lead_the_retry_round(self):
+        # a genuinely hung blocker starves the queue past its grace;
+        # the starved job must recover in the fresh retry pool, ahead
+        # of the blocker that hung it
+        backend = ProcessPoolBackend(workers=1, timeout=0.5, retries=1)
+        outcomes, attempts = backend._map(_nap, [60, 0.2])
+        assert outcomes[0][0] == "err"
+        assert outcomes[1] == ("ok", 0.2)
+        assert attempts == [2, 2]
 
 
 class TestCaching:

@@ -1,0 +1,135 @@
+"""The sweep service's wire shapes — no Flask required."""
+
+import json
+
+import pytest
+
+from repro.core.presets import proposed_network
+from repro.engine.jobspec import JobSpec
+from repro.service import schemas
+from repro.service.workers import CACHED, FAILED, JobRecord
+from repro.traffic.mix import MIXED_TRAFFIC
+
+
+def make_spec(rate=0.05, **overrides):
+    kwargs = dict(
+        config=proposed_network(),
+        mix=MIXED_TRAFFIC,
+        rate=rate,
+        name="proposed",
+        warmup=100,
+        measure=300,
+        drain=400,
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+class TestParseSweepRequest:
+    def test_round_trips_jobspec_dicts(self):
+        specs = [make_spec(0.02), make_spec(0.05)]
+        parsed = schemas.parse_sweep_request(
+            {"jobs": [s.to_dict() for s in specs]}
+        )
+        assert parsed == specs
+        assert [p.cache_key for p in parsed] == [s.cache_key for s in specs]
+
+    def test_accepts_payload_shape_with_backend_key(self):
+        # to_payload() adds the execution-only backend key; the parse
+        # accepts it and the content address is unchanged by it
+        spec = make_spec(backend="array")
+        (parsed,) = schemas.parse_sweep_request(
+            {"jobs": [spec.to_payload()]}
+        )
+        assert parsed.backend == "array"
+        assert parsed.cache_key == make_spec().cache_key
+
+    def test_rejects_non_object_bodies(self):
+        for body in (None, [], "jobs", 7):
+            with pytest.raises(schemas.SchemaError, match="JSON object"):
+                schemas.parse_sweep_request(body)
+
+    def test_rejects_unknown_request_fields(self):
+        with pytest.raises(schemas.SchemaError, match="bogus"):
+            schemas.parse_sweep_request({"jobs": [], "bogus": 1})
+
+    def test_rejects_missing_or_empty_jobs(self):
+        for body in ({}, {"jobs": []}, {"jobs": "all"}):
+            with pytest.raises(schemas.SchemaError, match="non-empty"):
+                schemas.parse_sweep_request(body)
+
+    def test_rejects_oversized_batches(self):
+        jobs = [{}] * (schemas.MAX_JOBS + 1)
+        with pytest.raises(schemas.SchemaError, match="limited to"):
+            schemas.parse_sweep_request({"jobs": jobs})
+
+    def test_errors_carry_the_offending_index(self):
+        good = make_spec().to_dict()
+        with pytest.raises(schemas.SchemaError, match=r"jobs\[1\]"):
+            schemas.parse_sweep_request({"jobs": [good, "nope"]})
+        with pytest.raises(
+            schemas.SchemaError, match=r"jobs\[0\].*missing.*'config'"
+        ):
+            schemas.parse_sweep_request({"jobs": [{}]})
+
+    def test_domain_validation_failures_become_schema_errors(self):
+        bad = make_spec().to_dict()
+        bad["rate"] = 2.0  # out of [0, 1]
+        with pytest.raises(schemas.SchemaError, match=r"jobs\[0\]"):
+            schemas.parse_sweep_request({"jobs": [bad]})
+
+
+class TestViews:
+    def test_job_view_links_the_result(self):
+        record = JobRecord(make_spec(0.05), CACHED)
+        view = schemas.job_view(record)
+        assert view == {
+            "key": record.key,
+            "status": "cached",
+            "name": "proposed",
+            "rate": 0.05,
+            "result_url": f"/results/{record.key}",
+        }
+
+    def test_job_view_carries_the_error_when_failed(self):
+        record = JobRecord(make_spec(), FAILED)
+        record.error = "kaboom"
+        assert schemas.job_view(record)["error"] == "kaboom"
+
+    def test_summary_counts_and_hit_rate(self):
+        records = [
+            JobRecord(make_spec(0.02), CACHED),
+            JobRecord(make_spec(0.05), CACHED),
+            JobRecord(make_spec(0.08), "done"),
+            JobRecord(make_spec(0.11), "queued"),
+        ]
+        summary = schemas.summary_view(records, queue_depth=1)
+        assert summary["total"] == 4
+        assert summary["cached"] == 2
+        assert summary["done"] == 1
+        assert summary["queued"] == 1
+        assert summary["hit_rate"] == pytest.approx(0.5)
+        assert summary["complete"] is False
+        assert summary["queue_depth"] == 1
+
+    def test_summary_of_no_records_is_degenerate_but_defined(self):
+        summary = schemas.summary_view([], queue_depth=0)
+        assert summary["total"] == 0
+        assert summary["hit_rate"] == 0.0
+        assert summary["complete"] is True
+
+    def test_sweep_view_is_json_serializable(self):
+        records = [JobRecord(make_spec(), CACHED)]
+        body = schemas.sweep_view("sweep-1", records, queue_depth=0)
+        parsed = json.loads(json.dumps(body))
+        assert parsed["id"] == "sweep-1"
+        assert parsed["jobs"][0]["status"] == "cached"
+
+
+class TestKeyRe:
+    def test_matches_only_full_content_addresses(self):
+        key = make_spec().cache_key
+        assert schemas.KEY_RE.fullmatch(key)
+        for bad in ("deadbeef", key[:-1], key + "0", key.upper(),
+                    "../" + key[3:], key[:-1] + "/"):
+            assert not schemas.KEY_RE.fullmatch(bad)
